@@ -1,0 +1,23 @@
+// Shared helpers for the experiment-reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.hpp"
+
+namespace xflow::bench {
+
+inline void Banner(const std::string& experiment, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s -- %s\n", experiment.c_str(), title.c_str());
+  std::printf("(device model: V100, 125 Tflop/s TC peak, 31.4 Tflop/s fp16, "
+              "900 GB/s HBM)\n");
+  std::printf("================================================================\n");
+}
+
+inline void PaperNote(const std::string& note) {
+  std::printf("paper reference: %s\n\n", note.c_str());
+}
+
+}  // namespace xflow::bench

@@ -1,0 +1,35 @@
+// Fig. 1: dataflow graph of multi-head attention with exact flop and
+// flop-per-word annotations, plus a DOT rendering.
+//
+// Paper annotations: projections 8G flop @ ~910 flop/IO; QKT and gamma
+// 4G @ ~102; softmax 160-200M @ ~2.5; biases ~4M @ ~0.5.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+
+int main() {
+  using namespace xflow;
+  bench::Banner("Fig. 1", "MHA forward dataflow (SDFG) annotations");
+  bench::PaperNote("Q/K/V 8G@910, QKT & gamma 4G@102, softmax ~0.2G@2.5, "
+                   "biases 4M@0.5, out 8G@910");
+
+  const auto g = graph::BuildMhaForward(graph::ModelDims::BertLarge());
+
+  AsciiTable table(
+      {"Operator", "Class", "flop", "flop/IO", "Boundedness"});
+  for (const auto& op : g.ops()) {
+    const auto cost = CostOf(g, op);
+    table.AddRow({op.name, ClassGlyph(op.cls()), HumanCount(cost.flop),
+                  StrFormat("%.2f", cost.FlopPerIo()),
+                  ToString(ClassifyBoundedness(cost))});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\nGraphviz (render with `dot -Tpng`):\n%s\n",
+              graph::ToDot(g).c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 2: forward + backward dataflow of a BERT-large encoder layer with
+// flop and flop/IO annotations per operator and per-block aggregates.
+//
+// Paper annotations (decimal flop): MHA 43G, linears 34G each @ ~1365
+// flop/IO, element-wise ops ~4-29M @ ~1/3, layernorms @ ~2-3.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+
+int main() {
+  using namespace xflow;
+  bench::Banner("Fig. 2", "BERT encoder layer dataflow annotations");
+  bench::PaperNote("MHA block 43G flop; linear layers 34G @ ~1365 flop/IO; "
+                   "element-wise @ ~1/3; TC >> SN >> EW in flop");
+
+  const auto g =
+      BuildEncoder(graph::ModelDims::BertLarge(),
+                   graph::AlgebraicFusion::kQKV, /*backward=*/true);
+
+  AsciiTable table({"Operator", "Class", "flop", "flop/IO", "Boundedness"});
+  double mha_flop = 0;
+  bool in_backward = false;
+  for (const auto& op : g.ops()) {
+    if (op.name == "layernorm 2 dW") {
+      table.AddSeparator();
+      in_backward = true;
+    }
+    const auto cost = CostOf(g, op);
+    table.AddRow({op.name, ClassGlyph(op.cls()), HumanCount(cost.flop),
+                  cost.FlopPerIo() < 1
+                      ? StrFormat("1/%.0f", 1.0 / cost.FlopPerIo())
+                      : StrFormat("%.0f", cost.FlopPerIo()),
+                  ToString(ClassifyBoundedness(cost))});
+    if (!in_backward &&
+        (op.name == "Q,K,V" || op.name == "QKT" || op.name == "gamma" ||
+         op.name == "out" || op.name == "scaled softmax" ||
+         op.name == "input bias")) {
+      mha_flop += cost.flop;
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\nMHA block total: %s flop (paper: 43G)\n",
+              HumanCount(mha_flop).c_str());
+  const auto by_class = FlopByClass(g);
+  std::printf("class totals: TC %s, SN %s, EW %s flop\n",
+              HumanCount(by_class.at(graph::OpClass::kContraction)).c_str(),
+              HumanCount(by_class.at(graph::OpClass::kStatNorm)).c_str(),
+              HumanCount(by_class.at(graph::OpClass::kElementwise)).c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 5: runtime distributions over every configuration (input/output
+// layouts x vectorization dim x warp-reduction dim) of the fused
+// element-wise and statistical-normalization kernels.
+//
+// Paper: long-tailed distributions -- e.g. AIB best 0.065 ms worst 5.3 ms,
+// BDRB best 0.402 ms worst 81 ms; vectorized layouts dominate; joining the
+// reduce and vector dims frees registers.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "fusion/fuser.hpp"
+#include "graph/builder.hpp"
+#include "layouts/fused_space.hpp"
+
+int main() {
+  using namespace xflow;
+  bench::Banner("Fig. 5", "Fused kernel performance by configuration");
+  bench::PaperNote("long tails: AIB 0.065..5.3 ms, SM 0.402..81 ms scale; "
+                   "best configs vectorize and align reduce/vector dims");
+
+  const auto g =
+      BuildEncoder(graph::ModelDims::BertLarge(),
+                   graph::AlgebraicFusion::kQKV, /*backward=*/true);
+  const auto fused = fusion::FuseMaximally(g);
+  const sim::GpuModel model(sim::DeviceSpec::V100());
+
+  AsciiTable table({"Kernel", "configs", "best ms", "worst ms", "median ms",
+                    "density (over log time)", "best config"});
+  for (const auto& k : fused.kernels) {
+    if (k.IsContraction(g)) continue;
+    const auto space = layouts::SpaceFromKernel(g, k);
+    const auto samples = layouts::SweepFusedKernel(model, space);
+    std::vector<double> log_times;
+    double best = 1e30, worst = 0;
+    layouts::FusedConfig best_cfg;
+    for (const auto& s : samples) {
+      log_times.push_back(std::log10(s.timing.time_us));
+      if (s.timing.time_us < best) {
+        best = s.timing.time_us;
+        best_cfg = s.config;
+      }
+      worst = std::max(worst, s.timing.time_us);
+    }
+    const auto summary = Summarize(log_times, 24);
+    table.AddRow({k.name, StrFormat("%zu", samples.size()),
+                  StrFormat("%.3f", best / 1000.0),
+                  StrFormat("%.3f", worst / 1000.0),
+                  StrFormat("%.3f", std::pow(10.0, summary.median) / 1000.0),
+                  RenderDensity(summary), best_cfg.Describe()});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nexpected shape: bests in the tens-to-hundreds of us, worsts"
+              " 1-2 orders of magnitude slower (long tails)\n");
+  return 0;
+}

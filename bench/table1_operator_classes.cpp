@@ -1,0 +1,40 @@
+// Table I: proportions of flop and runtime per operator class in PyTorch.
+//
+// Paper values: tensor contraction 99.80% flop / 61.0% runtime,
+// statistical normalization 0.17% / 25.5%, element-wise 0.03% / 13.5%.
+#include <cstdio>
+
+#include "baselines/plans.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "graph/analysis.hpp"
+
+int main() {
+  using namespace xflow;
+  bench::Banner("Table I", "Proportions for operator classes in PyTorch");
+  bench::PaperNote(
+      "TC 99.80% flop / 61.0% runtime; SN 0.17% / 25.5%; EW 0.03% / 13.5%");
+
+  const auto dims = graph::ModelDims::BertLarge();
+  const auto g = BuildEncoder(dims, graph::AlgebraicFusion::kQKV, true);
+  const sim::GpuModel model(sim::DeviceSpec::V100());
+  const auto pt =
+      baselines::PlanEncoder(baselines::Framework::kPyTorch, model, dims);
+
+  const auto flop_by_class = graph::FlopByClass(g);
+  const double total_flop = graph::TotalFlop(g);
+  const double total_time = pt.TotalUs();
+
+  AsciiTable table({"Operator class", "% flop", "% runtime"});
+  for (auto cls : {graph::OpClass::kContraction, graph::OpClass::kStatNorm,
+                   graph::OpClass::kElementwise}) {
+    table.AddRow({ToString(cls),
+                  StrFormat("%.2f", 100.0 * flop_by_class.at(cls) / total_flop),
+                  StrFormat("%.1f", 100.0 * pt.ClassUs(cls) / total_time)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nmeasured on the modeled PyTorch execution plan "
+              "(%zu kernels, %.2f ms total)\n",
+              pt.kernels.size(), total_time / 1000.0);
+  return 0;
+}

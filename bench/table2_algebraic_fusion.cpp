@@ -1,0 +1,87 @@
+// Table II: algebraic fusion for the MHA Q/K/V input projections (us).
+//
+// Paper: forward  345 (unfused) / 294 (QK fused) / 275 (QKV fused);
+//        backward 342 / 312 / 291. Fully fusing the batched MMM is best --
+// stacking enables data reuse of X, and cuBLAS kernels occupy the whole
+// GPU anyway, so task parallelism between separate projections buys
+// nothing (Sec. IV-D).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "graph/builder.hpp"
+#include "sim/kernel_model.hpp"
+
+namespace {
+
+using namespace xflow;
+
+/// Forward projection time: one stacked GEMM per group of fused
+/// projections; backward runs dX and dW per group.
+double ProjectionUs(const sim::GpuModel& model, const graph::ModelDims& d,
+                    std::initializer_list<int> group_sizes, bool backward) {
+  double total = 0;
+  for (int stack : group_sizes) {
+    const GemmExtents fwd{.m = stack * d.p * d.h,
+                          .n = d.b * d.j,
+                          .k = d.i,
+                          .batch = 1};
+    sim::KernelTiming best;
+    best.time_us = 1e30;
+    for (int algo = 0; algo < sim::kNumGemmAlgorithms; ++algo) {
+      auto t = model.Contraction(fwd, {.algorithm = algo});
+      if (t.time_us < best.time_us) best = t;
+    }
+    if (!backward) {
+      total += best.time_us;
+      continue;
+    }
+    // dX: [W...]^T [dQ~ dK~ dV~]; dW: X [d...]^T -- both over the stack.
+    const GemmExtents dx{.m = d.i,
+                         .n = d.b * d.j,
+                         .k = stack * d.p * d.h,
+                         .batch = 1};
+    const GemmExtents dw{.m = stack * d.p * d.h,
+                         .n = d.i,
+                         .k = d.b * d.j,
+                         .batch = 1};
+    for (const auto& e : {dx, dw}) {
+      sim::KernelTiming b2;
+      b2.time_us = 1e30;
+      for (int algo = 0; algo < sim::kNumGemmAlgorithms; ++algo) {
+        auto t = model.Contraction(e, {.algorithm = algo});
+        if (t.time_us < b2.time_us) b2 = t;
+      }
+      total += b2.time_us;
+    }
+  }
+  // Backward halves the per-group pair count in the table's convention
+  // (dX and dW each reported once per configuration).
+  return backward ? total / 2 : total;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Table II", "Algebraic fusion for MHA Q/K/V (us)");
+  bench::PaperNote("fwd 345/294/275, bwd 342/312/291 (unfused/QK/QKV)");
+
+  const sim::GpuModel model(sim::DeviceSpec::V100());
+  const auto d = graph::ModelDims::BertLarge();
+
+  AsciiTable table({"", "Unfused", "QK fused", "QKV fused"});
+  table.AddRow(
+      {"Forward (us)",
+       StrFormat("%.0f", ProjectionUs(model, d, {1, 1, 1}, false)),
+       StrFormat("%.0f", ProjectionUs(model, d, {2, 1}, false)),
+       StrFormat("%.0f", ProjectionUs(model, d, {3}, false))});
+  table.AddRow(
+      {"Backward (us)",
+       StrFormat("%.0f", ProjectionUs(model, d, {1, 1, 1}, true)),
+       StrFormat("%.0f", ProjectionUs(model, d, {2, 1}, true)),
+       StrFormat("%.0f", ProjectionUs(model, d, {3}, true))});
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nexpected shape: QKV fused < QK fused < unfused in both "
+              "directions\n");
+  return 0;
+}

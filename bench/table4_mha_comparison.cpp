@@ -1,0 +1,39 @@
+// Table IV: multi-head attention performance for BERT (ms).
+//
+// Paper: forward  TF+XLA 1.60 | PT 1.90 | cuDNN 131 | Ours 1.25
+//        backward TF+XLA 2.25 | PT 2.77 | cuDNN 652 | Ours 1.86
+// cuDNN's experimental MHA entry point launches enormous numbers of tiny
+// softmax kernels and sits orders of magnitude behind everyone else.
+#include <cstdio>
+
+#include "baselines/plans.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace xflow;
+  using baselines::Framework;
+  bench::Banner("Table IV", "Multi-head attention performance for BERT");
+  bench::PaperNote("fwd 1.60/1.90/131/1.25 ms, bwd 2.25/2.77/652/1.86 ms "
+                   "(TF+XLA/PT/cuDNN/Ours)");
+
+  const sim::GpuModel model(sim::DeviceSpec::V100());
+  const auto dims = graph::ModelDims::BertLarge();
+
+  AsciiTable table({"", "TF+XLA", "PT", "cuDNN", "Ours"});
+  std::vector<std::string> fwd = {"Forward (ms)"};
+  std::vector<std::string> bwd = {"Backward (ms)"};
+  for (auto fw : {Framework::kTensorFlowXla, Framework::kPyTorch,
+                  Framework::kCuDnn, Framework::kOurs}) {
+    const auto profile = baselines::PlanEncoder(
+        fw, model, dims, baselines::PlanScope::kMhaOnly);
+    fwd.push_back(StrFormat("%.2f", profile.ForwardUs() / 1000.0));
+    bwd.push_back(StrFormat("%.2f", profile.BackwardUs() / 1000.0));
+  }
+  table.AddRow(fwd);
+  table.AddRow(bwd);
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nexpected shape: Ours < TF+XLA < PT, with cuDNN orders of "
+              "magnitude slower\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table V: full BERT encoder layer performance (ms), plus the paper's
+// second configuration (B=96, L=128) and the headline speedups.
+//
+// Paper: fwd PT 3.45 | TF+XLA 3.2 | DS 2.8 | Ours 2.63
+//        bwd PT 5.69 | TF+XLA 5.2 | DS 4.8 | Ours 4.38
+// => 1.30x over PyTorch, 1.20x over TF+XLA, 1.08x over DeepSpeed.
+// Second configuration: PT 18.43, DS 16.19, Ours 16.22 ms.
+#include <cstdio>
+
+#include "baselines/plans.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace xflow;
+using baselines::Framework;
+
+void RunConfiguration(const char* label, const graph::ModelDims& dims) {
+  const sim::GpuModel model(sim::DeviceSpec::V100());
+  std::printf("--- %s (B=%ld, L=%ld) ---\n", label, dims.b, dims.j);
+
+  AsciiTable table({"", "PT", "TF+XLA", "DS", "Ours"});
+  std::vector<std::string> fwd = {"Forward (ms)"};
+  std::vector<std::string> bwd = {"Backward (ms)"};
+  std::vector<std::string> tot = {"Total (ms)"};
+  double ours_total = 0, pt_total = 0, tf_total = 0, ds_total = 0;
+  for (auto fw : {Framework::kPyTorch, Framework::kTensorFlowXla,
+                  Framework::kDeepSpeed, Framework::kOurs}) {
+    const auto profile = baselines::PlanEncoder(fw, model, dims);
+    fwd.push_back(StrFormat("%.2f", profile.ForwardUs() / 1000.0));
+    bwd.push_back(StrFormat("%.2f", profile.BackwardUs() / 1000.0));
+    tot.push_back(StrFormat("%.2f", profile.TotalUs() / 1000.0));
+    switch (fw) {
+      case Framework::kPyTorch: pt_total = profile.TotalUs(); break;
+      case Framework::kTensorFlowXla: tf_total = profile.TotalUs(); break;
+      case Framework::kDeepSpeed: ds_total = profile.TotalUs(); break;
+      case Framework::kOurs: ours_total = profile.TotalUs(); break;
+      default: break;
+    }
+  }
+  table.AddRow(fwd);
+  table.AddRow(bwd);
+  table.AddRow(tot);
+  std::printf("%s", table.Render().c_str());
+  std::printf("speedups: %.2fx vs PyTorch, %.2fx vs TF+XLA, %.2fx vs "
+              "DeepSpeed\n\n",
+              pt_total / ours_total, tf_total / ours_total,
+              ds_total / ours_total);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Table V", "Full BERT encoder layer performance");
+  bench::PaperNote("fwd 3.45/3.2/2.8/2.63 ms; bwd 5.69/5.2/4.8/4.38 ms; "
+                   "1.30x / 1.20x / 1.08x; B=96 cfg: 18.43/16.19/16.22 ms");
+
+  RunConfiguration("primary configuration", graph::ModelDims::BertLarge());
+  RunConfiguration("second configuration", graph::ModelDims::BertLargeB96());
+  return 0;
+}

@@ -1,0 +1,378 @@
+#include "baselines/plans.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "layouts/fused_space.hpp"
+#include "sim/calibration.hpp"
+
+namespace xflow::baselines {
+
+namespace {
+
+using graph::DataflowGraph;
+using graph::OpClass;
+using graph::OpKind;
+using graph::OpNode;
+
+/// MHA operators of the encoder graph (Table IV scope).
+const std::set<std::string>& MhaOpNames() {
+  static const std::set<std::string> kNames = {
+      "Q,K,V",      "input bias",    "QKT",          "scaled softmax",
+      "gamma",      "out",           "output bias",  "output bias dW",
+      "out dX",     "out dW",        "gamma dX1",    "gamma dX2",
+      "scaled softmax dX",           "QKT dX1",      "QKT dX2",
+      "Q,K,V dX",   "Q,K,V dW",      "input bias dW"};
+  return kNames;
+}
+
+int FirstBackwardOp(const DataflowGraph& g) {
+  for (std::size_t i = 0; i < g.ops().size(); ++i) {
+    if (g.ops()[i].name == "layernorm 2 dW") return static_cast<int>(i);
+  }
+  return static_cast<int>(g.ops().size());
+}
+
+GemmExtents ExtentsOf(const DataflowGraph& g, const OpNode& op) {
+  const auto spec = EinsumSpec::Parse(op.einsum);
+  // Ops like "Q,K,V dW" list several stacked-gradient inputs; pick, for
+  // each spec operand, the first input carrying all of its dimensions.
+  auto operand_shape = [&](const std::string& dims) -> const Shape& {
+    for (const auto& in : op.inputs) {
+      const Shape& s = g.tensor(in).shape;
+      if (std::all_of(dims.begin(), dims.end(),
+                      [&](char d) { return s.has(d); })) {
+        return s;
+      }
+    }
+    return g.tensor(op.inputs.front()).shape;
+  };
+  auto e = ContractionExtents(spec, operand_shape(spec.a),
+                              operand_shape(spec.b));
+  // Stacked projections carry their full flop in op.flop; for ops whose
+  // inputs are the split tensors (Q,K,V dX / dW), rescale via flop.
+  const double spec_flop =
+      2.0 * static_cast<double>(e.batch) * static_cast<double>(e.m) *
+      static_cast<double>(e.n) * static_cast<double>(e.k);
+  if (op.flop > 1.5 * spec_flop) {
+    e.n *= static_cast<std::int64_t>(op.flop / spec_flop + 0.5);
+  }
+  return e;
+}
+
+double BytesOf(const DataflowGraph& g, const OpNode& op) {
+  return static_cast<double>(g.InputElements(op) + g.OutputElements(op)) *
+         kHalfBytes;
+}
+
+sim::KernelTiming BestContraction(const sim::GpuModel& model,
+                                  const GemmExtents& e, double layout_factor) {
+  sim::KernelTiming best;
+  best.time_us = 1e30;
+  for (int algo = 0; algo < sim::kNumGemmAlgorithms; ++algo) {
+    const auto t = model.Contraction(
+        e, {.tensor_cores = true, .algorithm = algo,
+            .layout_factor = layout_factor});
+    if (t.time_us < best.time_us) best = t;
+  }
+  return best;
+}
+
+/// Per-kernel dispatch overhead of each framework (eager vs compiled).
+double DispatchOverheadUs(Framework fw) {
+  switch (fw) {
+    // PyTorch's eager per-operator cost: Table V totals exceed Table III
+    // kernel sums by ~1 ms over 46 operators (~22 us each).
+    case Framework::kPyTorch: return 22.0;
+    case Framework::kTensorFlowXla: return 0.8;
+    case Framework::kCuDnn: return 0.5;
+    case Framework::kDeepSpeed: return 0.6;
+    case Framework::kOurs: return 0.5;
+  }
+  return 1.0;
+}
+
+/// Map a backward kernel/op name onto its forward SSSP stage.
+std::string ForwardStageOf(std::string name) {
+  for (const char* suffix : {" dX1", " dX2", " dX", " dW"}) {
+    const auto pos = name.rfind(suffix);
+    if (pos != std::string::npos &&
+        pos + std::string(suffix).size() == name.size()) {
+      return name.substr(0, pos);
+    }
+  }
+  return name;
+}
+
+/// Per-operator plan (PyTorch-style; Table III granularity).
+ExecutionProfile PlanPerOperator(Framework fw, const sim::GpuModel& model,
+                                 const DataflowGraph& g, PlanScope scope) {
+  const int first_bwd = FirstBackwardOp(g);
+  ExecutionProfile profile;
+  profile.framework = fw;
+
+  for (std::size_t i = 0; i < g.ops().size(); ++i) {
+    const auto& op = g.ops()[i];
+    if (scope == PlanScope::kMhaOnly && !MhaOpNames().contains(op.name)) {
+      continue;
+    }
+    PlannedKernel k;
+    k.name = op.name;
+    k.cls = op.cls();
+    k.forward = static_cast<int>(i) < first_bwd;
+    k.op_indices = {static_cast<int>(i)};
+    k.dispatch_overhead_us = DispatchOverheadUs(fw);
+
+    if (op.cls() == OpClass::kContraction) {
+      const auto e = ExtentsOf(g, op);
+      // PyTorch uses the library heuristic; good but not optimal layouts.
+      // Batched MMMs additionally pay permute/contiguous copies to massage
+      // operands into bmm's expected 3-D views.
+      const bool batched = e.batch > 1;
+      const auto t = model.Contraction(
+          e, {.tensor_cores = true,
+              .algorithm = -1,
+              .layout_factor = batched ? 0.85 : 0.97});
+      k.timing = t;
+      if (batched) k.dispatch_overhead_us += 30.0;
+    } else {
+      const double frac = sim::FrameworkBandwidthFrac(op.kind);
+      const int launches =
+          op.kind == OpKind::kScaledSoftmax ||
+                  op.kind == OpKind::kScaledSoftmaxDX
+              ? 3   // scale + softmax + dropout as separate kernels
+              : 1;
+      sim::MemoryConfig mc{
+          .bandwidth_frac = frac,
+          .flop_per_byte_overhead = sim::FlopPerByteOverhead(op.kind),
+          .kernel_launches = launches};
+      const double bytes = BytesOf(g, op);
+      k.timing = model.MemoryBoundKernel(bytes, bytes, op.flop, mc);
+    }
+    profile.kernels.push_back(std::move(k));
+  }
+  return profile;
+}
+
+/// Fused-kernel plan (Ours / DeepSpeed / TF+XLA with variations).
+ExecutionProfile PlanFused(Framework fw, const sim::GpuModel& model,
+                           const DataflowGraph& g,
+                           const fusion::FusionResult& fused,
+                           const config::SelectionResult& selection,
+                           PlanScope scope) {
+  const int first_bwd = FirstBackwardOp(g);
+  ExecutionProfile profile;
+  profile.framework = fw;
+
+  // Framework-specific knobs.
+  double contraction_layout = 1.0;  // ours: exhaustively tuned
+  double memory_frac_scale = 1.0;
+  bool exhaustive_algorithms = true;
+  bool algebraic_qkv_fusion = true;
+  bool use_selection_penalty = false;
+  switch (fw) {
+    case Framework::kOurs:
+      use_selection_penalty = true;
+      break;
+    case Framework::kDeepSpeed:
+      contraction_layout = 0.95;  // hand-tuned, no global selection
+      memory_frac_scale = 0.92;
+      break;
+    case Framework::kTensorFlowXla:
+      contraction_layout = 0.91;  // subpar data layouts (Sec. VI-B)
+      memory_frac_scale = 0.90;
+      exhaustive_algorithms = false;
+      algebraic_qkv_fusion = false;
+      break;
+    default:
+      check(false, "framework is not fused-plan based");
+  }
+
+  for (const auto& fk : fused.kernels) {
+    const auto& first_op =
+        g.ops()[static_cast<std::size_t>(fk.op_indices.front())];
+    if (scope == PlanScope::kMhaOnly) {
+      const bool any_mha = std::any_of(
+          fk.op_indices.begin(), fk.op_indices.end(), [&](int idx) {
+            return MhaOpNames().contains(
+                g.ops()[static_cast<std::size_t>(idx)].name);
+          });
+      if (!any_mha) continue;
+    }
+    PlannedKernel k;
+    k.name = fk.name;
+    k.cls = first_op.cls();
+    k.forward = fk.op_indices.front() < first_bwd;
+    k.op_indices = fk.op_indices;
+    k.dispatch_overhead_us = DispatchOverheadUs(fw);
+
+    if (fk.IsContraction(g)) {
+      auto e = ExtentsOf(g, first_op);
+      double layout = contraction_layout;
+      if (use_selection_penalty) {
+        layout = 1.0 / selection.StagePenalty(ForwardStageOf(fk.name));
+      }
+      int copies = 1;
+      if (!algebraic_qkv_fusion && fk.name.rfind("Q,K,V", 0) == 0) {
+        // Three separate projection GEMMs instead of one stacked call.
+        e.n /= 3;
+        copies = 3;
+      }
+      auto t = exhaustive_algorithms
+                   ? BestContraction(model, e, layout)
+                   : model.Contraction(e, {.tensor_cores = true,
+                                           .algorithm = -1,
+                                           .layout_factor = layout});
+      t.time_us *= copies;
+      t.flop *= copies;
+      t.bytes_moved *= copies;
+      t.bytes_minimal *= copies;
+      k.timing = t;
+      k.dispatch_overhead_us *= copies;
+    } else {
+      double frac =
+          sim::TunedKernelBandwidthFrac(fk.name) * memory_frac_scale;
+      if (use_selection_penalty) {
+        frac /= selection.StagePenalty(fk.name);
+      }
+      double elems = 0;
+      for (const auto& lists : {fk.external_inputs, fk.external_outputs}) {
+        for (const auto& t : lists) {
+          elems += static_cast<double>(g.tensor(t).shape.num_elements());
+        }
+      }
+      const double bytes = elems * kHalfBytes;
+      double flop = 0;
+      double flop_overhead = 0;
+      for (int idx : fk.op_indices) {
+        const auto& op = g.ops()[static_cast<std::size_t>(idx)];
+        flop += op.flop;
+        flop_overhead =
+            std::max(flop_overhead, sim::FlopPerByteOverhead(op.kind));
+      }
+      sim::MemoryConfig mc{.bandwidth_frac = frac,
+                           .flop_per_byte_overhead = flop_overhead,
+                           .kernel_launches = 1};
+      k.timing = model.MemoryBoundKernel(bytes, bytes, flop, mc);
+    }
+    profile.kernels.push_back(std::move(k));
+  }
+  return profile;
+}
+
+/// cuDNN's experimental MHA: contractions plus one softmax kernel per
+/// attention row forward (and ~5 per row backward) -- Table IV's outlier.
+ExecutionProfile PlanCudnnMha(const sim::GpuModel& model,
+                              const DataflowGraph& g) {
+  const int first_bwd = FirstBackwardOp(g);
+  ExecutionProfile profile = PlanPerOperator(Framework::kCuDnn, model, g,
+                                             PlanScope::kMhaOnly);
+  // Replace the softmax kernels by the per-row launch storm.
+  const auto& sm = g.op("scaled softmax");
+  double rows = 1;
+  for (const auto& d : sm.independent_dims) {
+    rows *= static_cast<double>(d.extent);
+  }
+  const double per_launch_us = 2.0;  // small kernels, driver-limited
+  for (auto& k : profile.kernels) {
+    if (k.name == "scaled softmax") {
+      k.timing.time_us = rows * per_launch_us;
+      k.forward = true;
+    } else if (k.name == "scaled softmax dX") {
+      k.timing.time_us = 5 * rows * per_launch_us;
+      k.forward = false;
+    }
+  }
+  (void)first_bwd;
+  return profile;
+}
+
+}  // namespace
+
+std::string ToString(Framework fw) {
+  switch (fw) {
+    case Framework::kPyTorch: return "PyTorch";
+    case Framework::kTensorFlowXla: return "TF+XLA";
+    case Framework::kCuDnn: return "cuDNN";
+    case Framework::kDeepSpeed: return "DeepSpeed";
+    case Framework::kOurs: return "Ours";
+  }
+  return "?";
+}
+
+double ExecutionProfile::ForwardUs() const {
+  double total = 0;
+  for (const auto& k : kernels) {
+    if (k.forward) total += k.TotalUs();
+  }
+  return total;
+}
+
+double ExecutionProfile::BackwardUs() const {
+  double total = 0;
+  for (const auto& k : kernels) {
+    if (!k.forward) total += k.TotalUs();
+  }
+  return total;
+}
+
+double ExecutionProfile::TotalBytesMoved() const {
+  double total = 0;
+  for (const auto& k : kernels) total += k.timing.bytes_moved;
+  return total;
+}
+
+double ExecutionProfile::ClassUs(OpClass cls) const {
+  double total = 0;
+  for (const auto& k : kernels) {
+    if (k.cls == cls) total += k.TotalUs();
+  }
+  return total;
+}
+
+const PlannedKernel* ExecutionProfile::KernelForOp(int op_index) const {
+  for (const auto& k : kernels) {
+    if (std::find(k.op_indices.begin(), k.op_indices.end(), op_index) !=
+        k.op_indices.end()) {
+      return &k;
+    }
+  }
+  return nullptr;
+}
+
+ExecutionProfile PlanEncoder(Framework fw, const sim::GpuModel& model,
+                             const DataflowGraph& g,
+                             const fusion::FusionResult& fused,
+                             const config::SelectionResult& selection,
+                             PlanScope scope) {
+  switch (fw) {
+    case Framework::kPyTorch:
+      return PlanPerOperator(fw, model, g, scope);
+    case Framework::kCuDnn:
+      require(scope == PlanScope::kMhaOnly,
+              "cuDNN baseline models only multi-head attention");
+      return PlanCudnnMha(model, g);
+    case Framework::kTensorFlowXla:
+    case Framework::kDeepSpeed:
+    case Framework::kOurs:
+      return PlanFused(fw, model, g, fused, selection, scope);
+  }
+  check(false, "unknown framework");
+  return {};
+}
+
+ExecutionProfile PlanEncoder(Framework fw, const sim::GpuModel& model,
+                             const graph::ModelDims& dims, PlanScope scope) {
+  const auto g =
+      BuildEncoder(dims, graph::AlgebraicFusion::kQKV, /*backward=*/true);
+  const auto fused = fusion::FuseMaximally(g);
+  config::SelectionResult selection;
+  if (fw == Framework::kOurs) {
+    selection = config::SelectConfigurations(model, g, fused);
+  }
+  return PlanEncoder(fw, model, g, fused, selection, scope);
+}
+
+}  // namespace xflow::baselines

@@ -1,0 +1,76 @@
+// Framework execution-strategy models (the paper's comparison targets).
+//
+// Each framework is modeled as an explicit execution plan over the same
+// dataflow graph, run through the device model:
+//  * PyTorch: per-operator kernels, good layouts, built-in cuBLAS
+//    heuristic, eager dispatch overhead, no cross-operator fusion.
+//  * TensorFlow+XLA: fuses softmax/element-wise chains but misses the
+//    algebraic Q/K/V fusion and uses subpar contraction layouts (Sec. VI-B).
+//  * cuDNN MHA: the experimental multi-head attention entry point that
+//    launches one softmax kernel per attention row (orders of magnitude
+//    slower, Table IV).
+//  * DeepSpeed: manually fused kernels, near-optimal but without global
+//    layout selection.
+//  * Ours: the fused kernels with exhaustively searched configurations and
+//    SSSP-selected global layouts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/selection.hpp"
+#include "fusion/fuser.hpp"
+#include "graph/builder.hpp"
+#include "sim/kernel_model.hpp"
+
+namespace xflow::baselines {
+
+enum class Framework { kPyTorch, kTensorFlowXla, kCuDnn, kDeepSpeed, kOurs };
+std::string ToString(Framework fw);
+
+/// One kernel of a framework's plan.
+struct PlannedKernel {
+  std::string name;
+  graph::OpClass cls = graph::OpClass::kElementwise;
+  bool forward = true;
+  std::vector<int> op_indices;  // graph ops this kernel covers
+  sim::KernelTiming timing;
+  double dispatch_overhead_us = 0;  // framework-side per-kernel cost
+
+  [[nodiscard]] double TotalUs() const {
+    return timing.time_us + dispatch_overhead_us;
+  }
+};
+
+struct ExecutionProfile {
+  Framework framework = Framework::kPyTorch;
+  std::vector<PlannedKernel> kernels;
+
+  [[nodiscard]] double ForwardUs() const;
+  [[nodiscard]] double BackwardUs() const;
+  [[nodiscard]] double TotalUs() const { return ForwardUs() + BackwardUs(); }
+  [[nodiscard]] double TotalBytesMoved() const;
+  /// Sum of times for kernels of one operator class (Table I denominator).
+  [[nodiscard]] double ClassUs(graph::OpClass cls) const;
+  /// The kernel covering a given graph-op index, or nullptr.
+  [[nodiscard]] const PlannedKernel* KernelForOp(int op_index) const;
+};
+
+/// Scope of the plan: the full encoder layer or only the MHA operators
+/// (for Table IV).
+enum class PlanScope { kEncoder, kMhaOnly };
+
+/// Build the execution profile of a framework on the encoder graph.
+/// `selection` carries the SSSP layout choices; only kOurs consumes it.
+ExecutionProfile PlanEncoder(Framework fw, const sim::GpuModel& model,
+                             const graph::DataflowGraph& g,
+                             const fusion::FusionResult& fused,
+                             const config::SelectionResult& selection,
+                             PlanScope scope = PlanScope::kEncoder);
+
+/// Convenience: runs fusion + selection internally.
+ExecutionProfile PlanEncoder(Framework fw, const sim::GpuModel& model,
+                             const graph::ModelDims& dims,
+                             PlanScope scope = PlanScope::kEncoder);
+
+}  // namespace xflow::baselines

@@ -1,0 +1,75 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace xflow {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      options_[arg.substr(2)] = "";
+    } else {
+      options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name,
+                               std::int64_t fallback) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          "option --" + name + " expects an integer");
+  return v;
+}
+
+double ArgParser::GetDouble(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          "option --" + name + " expects a number");
+  return v;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 std::string fallback) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+bool ArgParser::GetFlag(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return false;
+  return it->second != "0" && it->second != "false";
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  queried_[name] = true;
+  return options_.contains(name);
+}
+
+std::vector<std::string> ArgParser::UnknownOptions() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_) {
+    if (!queried_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace xflow

@@ -1,0 +1,40 @@
+// Minimal command-line parsing for benches and examples:
+//   --name=value  or  --flag
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xflow {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t GetInt(const std::string& name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double GetDouble(const std::string& name,
+                                 double fallback) const;
+  [[nodiscard]] std::string GetString(const std::string& name,
+                                      std::string fallback) const;
+  /// True when --name was given (with or without a value, unless "=0" or
+  /// "=false").
+  [[nodiscard]] bool GetFlag(const std::string& name) const;
+
+  [[nodiscard]] bool Has(const std::string& name) const;
+  /// Arguments that did not look like --options, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  /// Options that were provided but never queried (typo detection).
+  [[nodiscard]] std::vector<std::string> UnknownOptions() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace xflow

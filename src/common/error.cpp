@@ -1,0 +1,16 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace xflow::detail {
+
+[[noreturn]] void fail(std::string_view kind, std::string_view msg,
+                       const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << loc.file_name() << ":" << loc.line()
+     << " in " << loc.function_name() << "]";
+  if (kind == "invalid argument") throw InvalidArgument(os.str());
+  throw ContractViolation(os.str());
+}
+
+}  // namespace xflow::detail

@@ -1,0 +1,58 @@
+// Software IEEE 754 binary16 ("half") arithmetic.
+//
+// The paper trains with FP16 storage and FP32 accumulation (mixed precision,
+// Sec. III-D). This type reproduces that numerics contract on hardware
+// without native fp16: values are stored as 16-bit patterns and every
+// arithmetic operation round-trips through float.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace xflow {
+
+/// IEEE 754 binary16 value. Conversions use round-to-nearest-even.
+class Half {
+ public:
+  constexpr Half() = default;
+  Half(float f) : bits_(FromFloat(f)) {}  // NOLINT: implicit by design
+
+  /// Reinterpret a raw bit pattern as a Half.
+  static constexpr Half FromBits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  operator float() const { return ToFloat(bits_); }  // NOLINT: implicit
+
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+
+  Half& operator+=(Half o) { return *this = Half(float(*this) + float(o)); }
+  Half& operator-=(Half o) { return *this = Half(float(*this) - float(o)); }
+  Half& operator*=(Half o) { return *this = Half(float(*this) * float(o)); }
+  Half& operator/=(Half o) { return *this = Half(float(*this) / float(o)); }
+
+  friend bool operator==(Half a, Half b) { return float(a) == float(b); }
+  friend bool operator!=(Half a, Half b) { return float(a) != float(b); }
+  friend bool operator<(Half a, Half b) { return float(a) < float(b); }
+  friend bool operator<=(Half a, Half b) { return float(a) <= float(b); }
+  friend bool operator>(Half a, Half b) { return float(a) > float(b); }
+  friend bool operator>=(Half a, Half b) { return float(a) >= float(b); }
+
+  /// float -> binary16 bit pattern, round-to-nearest-even, with proper
+  /// handling of subnormals, infinities and NaN.
+  static std::uint16_t FromFloat(float f);
+  /// binary16 bit pattern -> float (exact).
+  static float ToFloat(std::uint16_t bits);
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Half h);
+
+/// Number of bytes per element for the storage type used by the paper (fp16).
+inline constexpr int kHalfBytes = 2;
+
+}  // namespace xflow

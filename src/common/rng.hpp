@@ -1,0 +1,69 @@
+// Counter-based random number generation (Philox4x32-10).
+//
+// The paper's dropout kernels use cuRAND (Philox) to generate masks on the
+// fly inside fused kernels. A counter-based generator is essential there:
+// every (seed, offset) pair yields the same value regardless of evaluation
+// order, so a fused kernel and its unfused reference produce identical masks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace xflow {
+
+/// Philox4x32-10 block cipher; stateless, keyed by a 64-bit seed.
+/// Generates 4 x 32-bit random words per 128-bit counter value.
+class Philox4x32 {
+ public:
+  explicit Philox4x32(std::uint64_t seed) : key_{Lo(seed), Hi(seed)} {}
+
+  /// The 4 random words for counter value `ctr` (10 rounds).
+  [[nodiscard]] std::array<std::uint32_t, 4> Block(std::uint64_t ctr) const;
+
+  /// The i-th random 32-bit word of the stream (i = 4*ctr + lane).
+  [[nodiscard]] std::uint32_t At(std::uint64_t index) const {
+    return Block(index / 4)[index % 4];
+  }
+
+  /// Uniform float in [0, 1) derived from the i-th word.
+  [[nodiscard]] float UniformAt(std::uint64_t index) const {
+    // 24 mantissa-ish bits; exact in float, never returns 1.0.
+    return static_cast<float>(At(index) >> 8) * (1.0f / 16777216.0f);
+  }
+
+ private:
+  static constexpr std::uint32_t Lo(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v);
+  }
+  static constexpr std::uint32_t Hi(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v >> 32);
+  }
+
+  std::array<std::uint32_t, 2> key_;
+};
+
+/// Deterministic dropout mask source: keep element i iff
+/// Uniform(seed, i) >= drop_probability.
+class DropoutMask {
+ public:
+  DropoutMask(std::uint64_t seed, float drop_probability)
+      : gen_(seed), drop_prob_(drop_probability) {}
+
+  [[nodiscard]] bool Keep(std::uint64_t index) const {
+    return gen_.UniformAt(index) >= drop_prob_;
+  }
+  /// Scale applied to kept elements (inverted dropout).
+  [[nodiscard]] float Scale() const {
+    return drop_prob_ < 1.0f ? 1.0f / (1.0f - drop_prob_) : 0.0f;
+  }
+  [[nodiscard]] float drop_probability() const { return drop_prob_; }
+
+ private:
+  Philox4x32 gen_;
+  float drop_prob_;
+};
+
+/// Small splitmix64 helper for seeding / hashing.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+}  // namespace xflow

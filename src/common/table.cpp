@@ -1,0 +1,101 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace xflow {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string AsciiTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      s += " " + v + std::string(widths[c] - v.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+DistributionSummary Summarize(std::vector<double> samples, int bins) {
+  require(!samples.empty(), "cannot summarize an empty sample");
+  require(bins > 0, "bins must be positive");
+  std::sort(samples.begin(), samples.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+
+  DistributionSummary s;
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.q1 = quantile(0.25);
+  s.median = quantile(0.5);
+  s.q3 = quantile(0.75);
+
+  s.density.assign(static_cast<std::size_t>(bins), 0.0);
+  const double span = s.max - s.min;
+  for (double v : samples) {
+    int b = span > 0 ? static_cast<int>((v - s.min) / span * bins) : 0;
+    b = std::clamp(b, 0, bins - 1);
+    s.density[static_cast<std::size_t>(b)] += 1.0;
+  }
+  const double peak = *std::max_element(s.density.begin(), s.density.end());
+  if (peak > 0) {
+    for (double& d : s.density) d /= peak;
+  }
+  return s;
+}
+
+std::string RenderDensity(const DistributionSummary& s) {
+  static constexpr std::string_view kRamp = " .:-=+*#%@";
+  std::string out;
+  out.reserve(s.density.size());
+  for (double d : s.density) {
+    const auto idx = static_cast<std::size_t>(
+        std::round(d * static_cast<double>(kRamp.size() - 1)));
+    out += kRamp[idx];
+  }
+  return out;
+}
+
+}  // namespace xflow

@@ -1,0 +1,40 @@
+// ASCII table and distribution ("violin") rendering for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xflow {
+
+/// Column-aligned ASCII table. Benches use this to print the paper's tables.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Five-number summary plus a density sketch of a sample, the textual
+/// equivalent of one violin in the paper's Figs. 4 and 5.
+struct DistributionSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  std::size_t count = 0;
+  /// Histogram over [min, max], normalized to [0, 1] per bin.
+  std::vector<double> density;
+};
+
+/// Summarize samples with `bins` histogram bins. Requires non-empty input.
+DistributionSummary Summarize(std::vector<double> samples, int bins = 24);
+
+/// One-line density sketch, e.g. " .:|#|:. " (wider = more configurations).
+std::string RenderDensity(const DistributionSummary& s);
+
+}  // namespace xflow

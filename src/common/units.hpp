@@ -1,0 +1,22 @@
+// Unit conventions shared across the library.
+//
+// The paper reports "Gflop" in the binary convention (2^30 flop) -- this is
+// the only convention under which its Table III entries (e.g. 24 Gflop for
+// the fused Q/K/V projection at I=1024, B=8, J=512) are self-consistent.
+// Element counts are decimal millions.
+#pragma once
+
+#include <cstdint>
+
+namespace xflow {
+
+inline constexpr double kGiFlop = 1024.0 * 1024.0 * 1024.0;  // 2^30
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+/// flop -> paper-convention Gflop.
+inline constexpr double ToGflop(double flop) { return flop / kGiFlop; }
+/// element count -> paper-convention "(1e6)" column.
+inline constexpr double ToMega(double count) { return count / kMega; }
+
+}  // namespace xflow

@@ -1,0 +1,60 @@
+#include "fusion/patterns.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace xflow::fusion {
+
+std::string ToString(FusionPattern p) {
+  switch (p) {
+    case FusionPattern::kMapMap: return "1: map->map";
+    case FusionPattern::kMapReduce: return "2: map->reduce";
+    case FusionPattern::kReduceMap: return "3: reduce->map";
+    case FusionPattern::kSibling: return "4: sibling merge";
+  }
+  return "?";
+}
+
+FusionPattern ClassifyPair(const graph::OpNode& a, const graph::OpNode& b,
+                           bool linked) {
+  if (!linked) return FusionPattern::kSibling;
+  const bool a_reduces = !a.reduction_dims.empty();
+  const bool b_reduces = !b.reduction_dims.empty();
+  if (a_reduces && !b_reduces) return FusionPattern::kReduceMap;
+  if (!a_reduces && b_reduces) return FusionPattern::kMapReduce;
+  if (a_reduces && b_reduces) return FusionPattern::kReduceMap;  // chained
+  return FusionPattern::kMapMap;
+}
+
+std::vector<PatternInstance> KernelPatterns(const graph::DataflowGraph& g,
+                                            const FusedKernel& kernel) {
+  std::vector<PatternInstance> out;
+  for (std::size_t i = 0; i + 1 < kernel.op_indices.size(); ++i) {
+    const auto& a =
+        g.ops()[static_cast<std::size_t>(kernel.op_indices[i])];
+    const auto& b =
+        g.ops()[static_cast<std::size_t>(kernel.op_indices[i + 1])];
+    const bool linked = std::any_of(
+        b.inputs.begin(), b.inputs.end(), [&](const std::string& in) {
+          return std::find(a.outputs.begin(), a.outputs.end(), in) !=
+                 a.outputs.end();
+        });
+    out.push_back({a.name, b.name, ClassifyPair(a, b, linked)});
+  }
+  return out;
+}
+
+std::vector<std::pair<FusionPattern, int>> PatternCensus(
+    const graph::DataflowGraph& g, const FusionResult& fused) {
+  std::map<FusionPattern, int> counts = {{FusionPattern::kMapMap, 0},
+                                         {FusionPattern::kMapReduce, 0},
+                                         {FusionPattern::kReduceMap, 0},
+                                         {FusionPattern::kSibling, 0}};
+  for (const auto& k : fused.kernels) {
+    if (k.IsContraction(g)) continue;
+    for (const auto& inst : KernelPatterns(g, k)) ++counts[inst.pattern];
+  }
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace xflow::fusion

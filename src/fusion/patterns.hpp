@@ -1,0 +1,56 @@
+// The four structural fusion patterns of the paper's Fig. 3, as an
+// explicit classifier over adjacent operator pairs inside a fused kernel.
+//
+//   Pattern 1 (map-map):       producer and consumer share the same
+//                              independent iteration space.
+//   Pattern 2 (map-reduce):    the consumer reduces over dims the producer
+//                              iterated independently (e.g. bias -> LN).
+//   Pattern 3 (reduce-map):    a reduction result is broadcast back into a
+//                              map over the pre-reduction space (the
+//                              two-loop kernels, e.g. LN dX -> dropout dX).
+//   Pattern 4 (sibling):       independent operators sharing outer
+//                              iteration dims merged into one launch
+//                              (e.g. bias dW + the dropout/relu chain).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fusion/fuser.hpp"
+#include "graph/graph.hpp"
+
+namespace xflow::fusion {
+
+enum class FusionPattern {
+  kMapMap,      // pattern 1
+  kMapReduce,   // pattern 2
+  kReduceMap,   // pattern 3
+  kSibling,     // pattern 4
+};
+
+std::string ToString(FusionPattern p);
+
+/// Classify the fusion of adjacent operators `a` then `b` (a before b in
+/// the kernel's schedule). `linked` tells whether b consumes one of a's
+/// outputs (a dataflow edge) -- without it the pair is a sibling merge.
+FusionPattern ClassifyPair(const graph::OpNode& a, const graph::OpNode& b,
+                           bool linked);
+
+/// One classified edge inside a fused kernel.
+struct PatternInstance {
+  std::string producer;
+  std::string consumer;
+  FusionPattern pattern;
+};
+
+/// All adjacent-pair patterns inside a fused kernel (empty for single-op
+/// kernels and contractions).
+std::vector<PatternInstance> KernelPatterns(const graph::DataflowGraph& g,
+                                            const FusedKernel& kernel);
+
+/// Census over a whole fusion result: how many instances of each pattern
+/// the pass exploited (the quantitative content of Fig. 3).
+std::vector<std::pair<FusionPattern, int>> PatternCensus(
+    const graph::DataflowGraph& g, const FusionResult& fused);
+
+}  // namespace xflow::fusion

@@ -1,0 +1,86 @@
+#include "graph/analysis.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace xflow::graph {
+
+OpCost CostOf(const DataflowGraph& graph, const OpNode& op) {
+  OpCost c;
+  c.flop = op.flop;
+  c.input_elems = graph.InputElements(op);
+  c.output_elems = graph.OutputElements(op);
+  return c;
+}
+
+Boundedness ClassifyBoundedness(const OpCost& cost) {
+  const double ratio = cost.FlopPerIo();
+  // One fused multiply-add per word is the balance point at fp16 on V100-
+  // class hardware (~31 Tflop/s over ~0.45 Twords/s); an order of magnitude
+  // either side is clearly bound by one resource.
+  if (ratio < 2.0) return Boundedness::kIoDominated;
+  if (ratio < 64.0) return Boundedness::kBalanced;
+  return Boundedness::kFlopDominated;
+}
+
+std::string ToString(Boundedness b) {
+  switch (b) {
+    case Boundedness::kIoDominated:
+      return "IO > flop";
+    case Boundedness::kBalanced:
+      return "IO ~ flop";
+    case Boundedness::kFlopDominated:
+      return "IO < flop";
+  }
+  return "?";
+}
+
+std::map<OpClass, double> FlopByClass(const DataflowGraph& graph) {
+  std::map<OpClass, double> by_class{{OpClass::kContraction, 0.0},
+                                     {OpClass::kStatNorm, 0.0},
+                                     {OpClass::kElementwise, 0.0}};
+  for (const auto& op : graph.ops()) by_class[op.cls()] += op.flop;
+  return by_class;
+}
+
+double TotalFlop(const DataflowGraph& graph) {
+  double total = 0;
+  for (const auto& op : graph.ops()) total += op.flop;
+  return total;
+}
+
+std::int64_t TotalDataMovementElems(const DataflowGraph& graph) {
+  std::int64_t total = 0;
+  for (const auto& op : graph.ops()) {
+    total += graph.InputElements(op) + graph.OutputElements(op);
+  }
+  return total;
+}
+
+std::string ToDot(const DataflowGraph& graph) {
+  std::ostringstream os;
+  os << "digraph dataflow {\n  rankdir=TB;\n";
+  for (const auto& [name, t] : graph.tensors()) {
+    os << StrFormat("  \"%s\" [shape=ellipse%s];\n", name.c_str(),
+                    t.is_weight ? " style=dashed" : "");
+  }
+  for (const auto& op : graph.ops()) {
+    const auto cost = CostOf(graph, op);
+    os << StrFormat(
+        "  \"op:%s\" [shape=box label=\"%s\\n[%s] %s flop, %.2g flop/IO\"];\n",
+        op.name.c_str(), op.name.c_str(), ClassGlyph(op.cls()).c_str(),
+        HumanCount(cost.flop).c_str(), cost.FlopPerIo());
+    for (const auto& in : op.inputs) {
+      os << StrFormat("  \"%s\" -> \"op:%s\";\n", in.c_str(), op.name.c_str());
+    }
+    for (const auto& out : op.outputs) {
+      os << StrFormat("  \"op:%s\" -> \"%s\";\n", op.name.c_str(),
+                      out.c_str());
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace xflow::graph

@@ -1,0 +1,44 @@
+// Dataflow analytics: the flop / data-volume annotations of Figs. 1 and 2
+// and the class proportions of Table I.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace xflow::graph {
+
+/// Exact cost annotation of one operator, derived purely from the graph.
+struct OpCost {
+  double flop = 0;                  // required flop
+  std::int64_t input_elems = 0;     // elements read
+  std::int64_t output_elems = 0;    // elements written
+  /// flop per word moved (the edge annotations in Figs. 1-2).
+  [[nodiscard]] double FlopPerIo() const {
+    const auto io = static_cast<double>(input_elems + output_elems);
+    return io > 0 ? flop / io : 0;
+  }
+};
+
+OpCost CostOf(const DataflowGraph& graph, const OpNode& op);
+
+/// The paper's coloring: IO > flop / IO ~ flop / IO < flop.
+enum class Boundedness { kIoDominated, kBalanced, kFlopDominated };
+Boundedness ClassifyBoundedness(const OpCost& cost);
+std::string ToString(Boundedness b);
+
+/// Aggregate flop per operator class (Table I's "% flop" numerator).
+std::map<OpClass, double> FlopByClass(const DataflowGraph& graph);
+double TotalFlop(const DataflowGraph& graph);
+
+/// Total elements moved by every operator (reads + writes). This is the
+/// unfused data-movement baseline used for the ~22.91% reduction claim.
+std::int64_t TotalDataMovementElems(const DataflowGraph& graph);
+
+/// Graphviz DOT rendering (containers as ellipses, ops as boxes with class
+/// glyphs and flop / flop-per-IO annotations, like Fig. 1b).
+std::string ToDot(const DataflowGraph& graph);
+
+}  // namespace xflow::graph

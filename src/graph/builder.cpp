@@ -1,0 +1,389 @@
+#include "graph/builder.hpp"
+
+#include "common/error.hpp"
+#include "tensor/einsum.hpp"
+
+namespace xflow::graph {
+
+namespace {
+
+/// Shorthand for adding a contraction node whose flop count comes from its
+/// einsum spec evaluated on the named operand shapes.
+void AddContraction(DataflowGraph& g, std::string name, std::string spec,
+                    const std::string& a, const std::string& b,
+                    const std::vector<std::string>& outputs) {
+  const auto parsed = EinsumSpec::Parse(spec);
+  OpNode op;
+  op.name = std::move(name);
+  op.kind = OpKind::kContraction;
+  op.einsum = std::move(spec);
+  op.inputs = {a, b};
+  op.outputs = outputs;
+  op.flop = static_cast<double>(
+      parsed.FlopCount(g.tensor(a).shape, g.tensor(b).shape));
+  // Iteration space: all output dims independent, contracted dims reduced.
+  const Shape& out_shape = g.tensor(outputs.front()).shape;
+  for (const auto& d : out_shape.dims()) op.independent_dims.push_back(d);
+  for (char d : parsed.k_dims) {
+    op.reduction_dims.push_back({d, g.tensor(a).shape.extent(d)});
+  }
+  g.AddOp(std::move(op));
+}
+
+/// Adds a non-contraction node. `space_of` names the tensor whose shape
+/// drives the element count; reduction dims are subtracted from it.
+void AddMapOp(DataflowGraph& g, std::string name, OpKind kind,
+              std::vector<std::string> inputs, std::vector<std::string> outputs,
+              const std::string& space_of, std::string reduce_dims = "",
+              std::vector<std::string> saved_outputs = {}) {
+  OpNode op;
+  op.name = std::move(name);
+  op.kind = kind;
+  op.inputs = std::move(inputs);
+  op.outputs = std::move(outputs);
+  op.saved_outputs = std::move(saved_outputs);
+  const Shape& space = g.tensor(space_of).shape;
+  for (const auto& d : space.dims()) {
+    if (reduce_dims.find(d.name) == std::string::npos) {
+      op.independent_dims.push_back(d);
+    } else {
+      op.reduction_dims.push_back(d);
+    }
+  }
+  op.flop = FlopPerElement(kind) * static_cast<double>(space.num_elements());
+  g.AddOp(std::move(op));
+}
+
+}  // namespace
+
+DataflowGraph BuildMhaForward(const ModelDims& d) {
+  DataflowGraph g;
+  // Inputs (general attention: distinct q, k, v as in Fig. 1).
+  g.AddTensor("q", Shape("ibj", {d.i, d.b, d.j}));
+  g.AddTensor("k", Shape("ibk", {d.i, d.b, d.k}));
+  g.AddTensor("v", Shape("ibk", {d.i, d.b, d.k}));
+  g.AddTensor("wq", Shape("phi", {d.p, d.h, d.i}), /*is_weight=*/true);
+  g.AddTensor("wk", Shape("phi", {d.p, d.h, d.i}), true);
+  g.AddTensor("wv", Shape("whi", {d.p, d.h, d.i}), true);
+  g.AddTensor("wo", Shape("whi", {d.p, d.h, d.i}), true);
+  g.AddTensor("bq", Shape("ph", {d.p, d.h}), true);
+  g.AddTensor("bk", Shape("ph", {d.p, d.h}), true);
+  g.AddTensor("bv", Shape("wh", {d.p, d.h}), true);
+  g.AddTensor("bo", Shape("i", {d.i}), true);
+
+  g.AddTensor("qq", Shape("phbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("kk", Shape("phbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("vv", Shape("whbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("qq_b", Shape("phbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("kk_b", Shape("phbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("vv_b", Shape("whbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("beta", Shape("hbjk", {d.h, d.b, d.j, d.k}));
+  g.AddTensor("alpha", Shape("hbjk", {d.h, d.b, d.j, d.k}));
+  g.AddTensor("attn_mask", Shape("hbjk", {d.h, d.b, d.j, d.k}));
+  g.AddTensor("softmax_saved", Shape("hbjk", {d.h, d.b, d.j, d.k}));
+  g.AddTensor("gamma", Shape("whbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("attn_out", Shape("ibj", {d.i, d.b, d.j}));
+  g.AddTensor("out", Shape("ibj", {d.i, d.b, d.j}));
+
+  AddContraction(g, "Q", "phi,ibj->phbj", "wq", "q", {"qq"});
+  AddContraction(g, "K", "phi,ibk->phbk", "wk", "k", {"kk"});
+  AddContraction(g, "V", "whi,ibk->whbk", "wv", "v", {"vv"});
+  AddMapOp(g, "bias Q", OpKind::kBias, {"qq", "bq"}, {"qq_b"}, "qq");
+  AddMapOp(g, "bias K", OpKind::kBias, {"kk", "bk"}, {"kk_b"}, "kk");
+  AddMapOp(g, "bias V", OpKind::kBias, {"vv", "bv"}, {"vv_b"}, "vv");
+  AddContraction(g, "QKT", "phbk,phbj->hbjk", "kk_b", "qq_b", {"beta"});
+  AddMapOp(g, "scaled softmax", OpKind::kScaledSoftmax, {"beta"},
+           {"alpha", "attn_mask", "softmax_saved"}, "beta", "k",
+           {"attn_mask", "softmax_saved"});
+  AddContraction(g, "gamma", "whbk,hbjk->whbj", "vv_b", "alpha", {"gamma"});
+  AddContraction(g, "out", "whi,whbj->ibj", "wo", "gamma", {"attn_out"});
+  AddMapOp(g, "bias out", OpKind::kBias, {"attn_out", "bo"}, {"out"},
+           "attn_out");
+  return g;
+}
+
+DataflowGraph BuildEncoder(const ModelDims& d, AlgebraicFusion fusion,
+                           bool include_backward) {
+  // The backward graph is modeled for the fully (QKV) algebraically fused
+  // projection, the configuration Table III reports; forward-only graphs
+  // support all three variants for the Table II ablation.
+  require(!include_backward || fusion == AlgebraicFusion::kQKV,
+          "backward graph requires AlgebraicFusion::kQKV");
+  DataflowGraph g;
+  const Shape ibj("ibj", {d.i, d.b, d.j});
+  const Shape ubj("ubj", {d.u, d.b, d.j});
+  const Shape hbjk("hbjk", {d.h, d.b, d.j, d.k});
+  const Shape bj("bj", {d.b, d.j});
+
+  // ---- Containers: forward.
+  g.AddTensor("x", ibj);
+  const std::int64_t p3 = 3 * d.p;
+  switch (fusion) {
+    case AlgebraicFusion::kQKV:
+      g.AddTensor("w_qkv", Shape("phi", {p3, d.h, d.i}), true);
+      break;
+    case AlgebraicFusion::kQK:
+      g.AddTensor("w_qk", Shape("phi", {2 * d.p, d.h, d.i}), true);
+      g.AddTensor("w_v", Shape("whi", {d.p, d.h, d.i}), true);
+      break;
+    case AlgebraicFusion::kNone:
+      g.AddTensor("w_q", Shape("phi", {d.p, d.h, d.i}), true);
+      g.AddTensor("w_k", Shape("phi", {d.p, d.h, d.i}), true);
+      g.AddTensor("w_v", Shape("whi", {d.p, d.h, d.i}), true);
+      break;
+  }
+  g.AddTensor("b_qkv", Shape("ph", {p3, d.h}), true);
+  g.AddTensor("qq", Shape("phbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("kk", Shape("phbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("vv", Shape("whbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("qq_b", Shape("phbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("kk_b", Shape("phbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("vv_b", Shape("whbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("beta", hbjk);
+  g.AddTensor("alpha", hbjk);
+  g.AddTensor("attn_mask", hbjk);
+  g.AddTensor("softmax_saved", hbjk);
+  g.AddTensor("gamma_t", Shape("whbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("w_out", Shape("whi", {d.p, d.h, d.i}), true);
+  g.AddTensor("b_out", Shape("i", {d.i}), true);
+  g.AddTensor("attn_out", ibj);
+  g.AddTensor("attn_biased", ibj);
+  g.AddTensor("attn_dropped", ibj);
+  g.AddTensor("attn_drop_mask", ibj);
+  g.AddTensor("resid1", ibj);
+  g.AddTensor("ln1_w", Shape("i", {d.i}), true);
+  g.AddTensor("ln1_b", Shape("i", {d.i}), true);
+  g.AddTensor("ln1_out", ibj);
+  g.AddTensor("ln1_mean", bj);
+  g.AddTensor("ln1_rstd", bj);
+  g.AddTensor("w1", Shape("ui", {d.u, d.i}), true);
+  g.AddTensor("b1", Shape("u", {d.u}), true);
+  g.AddTensor("lin1", ubj);
+  g.AddTensor("lin1_biased", ubj);
+  g.AddTensor("relu1", ubj);
+  g.AddTensor("ff_dropped", ubj);
+  g.AddTensor("ff_drop_mask", ubj);
+  g.AddTensor("w2", Shape("iu", {d.i, d.u}), true);
+  g.AddTensor("b2", Shape("i", {d.i}), true);
+  g.AddTensor("lin2", ibj);
+  g.AddTensor("lin2_biased", ibj);
+  g.AddTensor("lin2_dropped", ibj);
+  g.AddTensor("lin2_drop_mask", ibj);
+  g.AddTensor("resid2", ibj);
+  g.AddTensor("ln2_w", Shape("i", {d.i}), true);
+  g.AddTensor("ln2_b", Shape("i", {d.i}), true);
+  g.AddTensor("y", ibj);
+  g.AddTensor("ln2_mean", bj);
+  g.AddTensor("ln2_rstd", bj);
+
+  // ---- Forward operators (Table III order).
+  switch (fusion) {
+    case AlgebraicFusion::kQKV: {
+      // One stacked GEMM produces all three projections (Sec. IV-D).
+      const auto spec = EinsumSpec::Parse("phi,ibj->phbj");
+      OpNode op;
+      op.name = "Q,K,V";
+      op.kind = OpKind::kContraction;
+      op.einsum = "phi,ibj->phbj";
+      op.inputs = {"w_qkv", "x"};
+      op.outputs = {"qq", "kk", "vv"};
+      op.flop = static_cast<double>(
+          spec.FlopCount(g.tensor("w_qkv").shape, g.tensor("x").shape));
+      op.independent_dims = {{'p', p3}, {'h', d.h}, {'b', d.b}, {'j', d.j}};
+      op.reduction_dims = {{'i', d.i}};
+      g.AddOp(std::move(op));
+      break;
+    }
+    case AlgebraicFusion::kQK: {
+      const auto spec = EinsumSpec::Parse("phi,ibj->phbj");
+      OpNode op;
+      op.name = "Q,K";
+      op.kind = OpKind::kContraction;
+      op.einsum = "phi,ibj->phbj";
+      op.inputs = {"w_qk", "x"};
+      op.outputs = {"qq", "kk"};
+      op.flop = static_cast<double>(
+          spec.FlopCount(g.tensor("w_qk").shape, g.tensor("x").shape));
+      op.independent_dims = {{'p', 2 * d.p}, {'h', d.h}, {'b', d.b}, {'j', d.j}};
+      op.reduction_dims = {{'i', d.i}};
+      g.AddOp(std::move(op));
+      AddContraction(g, "V", "whi,ibj->whbj", "w_v", "x", {"vv"});
+      break;
+    }
+    case AlgebraicFusion::kNone:
+      AddContraction(g, "Q", "phi,ibj->phbj", "w_q", "x", {"qq"});
+      AddContraction(g, "K", "phi,ibj->phbj", "w_k", "x", {"kk"});
+      AddContraction(g, "V", "whi,ibj->whbj", "w_v", "x", {"vv"});
+      break;
+  }
+  {
+    // Attention input bias over all three projections (AIB).
+    OpNode op;
+    op.name = "input bias";
+    op.kind = OpKind::kBias;
+    op.inputs = {"qq", "kk", "vv", "b_qkv"};
+    op.outputs = {"qq_b", "kk_b", "vv_b"};
+    op.independent_dims = {{'p', p3}, {'h', d.h}, {'b', d.b}, {'j', d.j}};
+    op.flop = static_cast<double>(3 * g.tensor("qq").shape.num_elements());
+    g.AddOp(std::move(op));
+  }
+  AddContraction(g, "QKT", "phbk,phbj->hbjk", "kk_b", "qq_b", {"beta"});
+  AddMapOp(g, "scaled softmax", OpKind::kScaledSoftmax, {"beta"},
+           {"alpha", "attn_mask", "softmax_saved"}, "beta", "k",
+           {"attn_mask", "softmax_saved"});
+  AddContraction(g, "gamma", "whbk,hbjk->whbj", "vv_b", "alpha", {"gamma_t"});
+  AddContraction(g, "out", "whi,whbj->ibj", "w_out", "gamma_t", {"attn_out"});
+  AddMapOp(g, "output bias", OpKind::kBias, {"attn_out", "b_out"},
+           {"attn_biased"}, "attn_out");
+  AddMapOp(g, "attn dropout", OpKind::kDropout, {"attn_biased"},
+           {"attn_dropped", "attn_drop_mask"}, "attn_biased", "",
+           {"attn_drop_mask"});
+  AddMapOp(g, "residual 1", OpKind::kResidual, {"attn_dropped", "x"},
+           {"resid1"}, "resid1");
+  AddMapOp(g, "layernorm 1", OpKind::kLayerNorm, {"resid1", "ln1_w", "ln1_b"},
+           {"ln1_out", "ln1_mean", "ln1_rstd"}, "resid1", "i",
+           {"ln1_mean", "ln1_rstd"});
+  AddContraction(g, "linear 1", "ui,ibj->ubj", "w1", "ln1_out", {"lin1"});
+  AddMapOp(g, "bias 1", OpKind::kBias, {"lin1", "b1"}, {"lin1_biased"},
+           "lin1");
+  AddMapOp(g, "relu", OpKind::kReLU, {"lin1_biased"}, {"relu1"}, "relu1");
+  AddMapOp(g, "ff dropout", OpKind::kDropout, {"relu1"},
+           {"ff_dropped", "ff_drop_mask"}, "relu1", "", {"ff_drop_mask"});
+  AddContraction(g, "linear 2", "iu,ubj->ibj", "w2", "ff_dropped", {"lin2"});
+  AddMapOp(g, "bias 2", OpKind::kBias, {"lin2", "b2"}, {"lin2_biased"},
+           "lin2");
+  AddMapOp(g, "ff2 dropout", OpKind::kDropout, {"lin2_biased"},
+           {"lin2_dropped", "lin2_drop_mask"}, "lin2_biased", "",
+           {"lin2_drop_mask"});
+  AddMapOp(g, "residual 2", OpKind::kResidual, {"lin2_dropped", "ln1_out"},
+           {"resid2"}, "resid2");
+  AddMapOp(g, "layernorm 2", OpKind::kLayerNorm, {"resid2", "ln2_w", "ln2_b"},
+           {"y", "ln2_mean", "ln2_rstd"}, "resid2", "i",
+           {"ln2_mean", "ln2_rstd"});
+
+  if (!include_backward) return g;
+
+  // ---- Containers: backward.
+  g.AddTensor("d_y", ibj);
+  g.AddTensor("d_ln2_w", Shape("i", {d.i}), true);
+  g.AddTensor("d_ln2_b", Shape("i", {d.i}), true);
+  g.AddTensor("d_resid2", ibj);
+  g.AddTensor("d_lin2_biased", ibj);
+  g.AddTensor("d_b2", Shape("i", {d.i}), true);
+  g.AddTensor("d_ff_dropped", ubj);
+  g.AddTensor("d_w2", Shape("iu", {d.i, d.u}), true);
+  g.AddTensor("d_relu1", ubj);
+  g.AddTensor("d_lin1_biased", ubj);
+  g.AddTensor("d_b1", Shape("u", {d.u}), true);
+  g.AddTensor("d_ln1_ff", ibj);
+  g.AddTensor("d_w1", Shape("ui", {d.u, d.i}), true);
+  g.AddTensor("d_ln1_out", ibj);
+  g.AddTensor("d_ln1_w", Shape("i", {d.i}), true);
+  g.AddTensor("d_ln1_b", Shape("i", {d.i}), true);
+  g.AddTensor("d_resid1", ibj);
+  g.AddTensor("d_attn_biased", ibj);
+  g.AddTensor("d_b_out", Shape("i", {d.i}), true);
+  g.AddTensor("d_gamma", Shape("whbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("d_w_out", Shape("whi", {d.p, d.h, d.i}), true);
+  g.AddTensor("d_alpha", hbjk);
+  g.AddTensor("d_vv", Shape("whbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("d_beta", hbjk);
+  g.AddTensor("d_kk", Shape("phbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("d_qq", Shape("phbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("d_x_qkv", ibj);
+  g.AddTensor("d_w_qkv", Shape("phi", {p3, d.h, d.i}), true);
+  g.AddTensor("d_b_qkv", Shape("ph", {p3, d.h}), true);
+  g.AddTensor("d_x", ibj);
+
+  // ---- Backward operators (Table III order).
+  AddMapOp(g, "layernorm 2 dW", OpKind::kLayerNormDW,
+           {"d_y", "resid2", "ln2_mean", "ln2_rstd"}, {"d_ln2_w", "d_ln2_b"},
+           "resid2", "bj");
+  AddMapOp(g, "layernorm 2 dX", OpKind::kLayerNormDX,
+           {"d_y", "ln2_w", "resid2", "ln2_mean", "ln2_rstd"}, {"d_resid2"},
+           "resid2", "i");
+  AddMapOp(g, "ff2 dropout dX", OpKind::kDropoutDX,
+           {"d_resid2", "lin2_drop_mask"}, {"d_lin2_biased"}, "resid2");
+  AddContraction(g, "linear 2 dX", "iu,ibj->ubj", "w2", "d_lin2_biased",
+                 {"d_ff_dropped"});
+  AddContraction(g, "linear 2 dW", "ibj,ubj->iu", "d_lin2_biased",
+                 "ff_dropped", {"d_w2"});
+  AddMapOp(g, "bias 2 dW", OpKind::kBiasDW, {"d_lin2_biased"}, {"d_b2"},
+           "lin2_biased", "bj");
+  AddMapOp(g, "ff dropout dX", OpKind::kDropoutDX,
+           {"d_ff_dropped", "ff_drop_mask"}, {"d_relu1"}, "relu1");
+  AddMapOp(g, "relu dX", OpKind::kReLUDX, {"d_relu1", "relu1"},
+           {"d_lin1_biased"}, "relu1");
+  AddMapOp(g, "bias 1 dW", OpKind::kBiasDW, {"d_lin1_biased"}, {"d_b1"},
+           "lin1_biased", "bj");
+  AddContraction(g, "linear 1 dX", "ui,ubj->ibj", "w1", "d_lin1_biased",
+                 {"d_ln1_ff"});
+  AddContraction(g, "linear 1 dW", "ubj,ibj->ui", "d_lin1_biased", "ln1_out",
+                 {"d_w1"});
+  AddMapOp(g, "residual 2 bwd", OpKind::kResidualBwd,
+           {"d_ln1_ff", "d_resid2"}, {"d_ln1_out"}, "resid2");
+  AddMapOp(g, "layernorm 1 dW", OpKind::kLayerNormDW,
+           {"d_ln1_out", "resid1", "ln1_mean", "ln1_rstd"},
+           {"d_ln1_w", "d_ln1_b"}, "resid1", "bj");
+  AddMapOp(g, "layernorm 1 dX", OpKind::kLayerNormDX,
+           {"d_ln1_out", "ln1_w", "resid1", "ln1_mean", "ln1_rstd"},
+           {"d_resid1"}, "resid1", "i");
+  AddMapOp(g, "attn dropout dX", OpKind::kDropoutDX,
+           {"d_resid1", "attn_drop_mask"}, {"d_attn_biased"}, "resid1");
+  AddMapOp(g, "output bias dW", OpKind::kBiasDW, {"d_attn_biased"},
+           {"d_b_out"}, "attn_biased", "bj");
+  AddContraction(g, "out dX", "whi,ibj->whbj", "w_out", "d_attn_biased",
+                 {"d_gamma"});
+  AddContraction(g, "out dW", "ibj,whbj->whi", "d_attn_biased", "gamma_t",
+                 {"d_w_out"});
+  AddContraction(g, "gamma dX1", "whbk,whbj->hbjk", "vv_b", "d_gamma",
+                 {"d_alpha"});
+  AddContraction(g, "gamma dX2", "whbj,hbjk->whbk", "d_gamma", "alpha",
+                 {"d_vv"});
+  AddMapOp(g, "scaled softmax dX", OpKind::kScaledSoftmaxDX,
+           {"d_alpha", "attn_mask", "softmax_saved"}, {"d_beta"}, "beta",
+           "k");
+  AddContraction(g, "QKT dX1", "phbj,hbjk->phbk", "qq_b", "d_beta", {"d_kk"});
+  AddContraction(g, "QKT dX2", "hbjk,phbk->phbj", "d_beta", "kk_b", {"d_qq"});
+  {
+    // dX and dW for the stacked projection: one GEMM each (Sec. IV-D).
+    OpNode dx;
+    dx.name = "Q,K,V dX";
+    dx.kind = OpKind::kContraction;
+    dx.einsum = "phi,phbj->ibj";
+    dx.inputs = {"w_qkv", "d_qq", "d_kk", "d_vv"};
+    dx.outputs = {"d_x_qkv"};
+    dx.flop = 2.0 * static_cast<double>(p3 * d.h * d.i * d.b * d.j);
+    dx.independent_dims = {{'i', d.i}, {'b', d.b}, {'j', d.j}};
+    dx.reduction_dims = {{'p', p3}, {'h', d.h}};
+    g.AddOp(std::move(dx));
+
+    OpNode dw;
+    dw.name = "Q,K,V dW";
+    dw.kind = OpKind::kContraction;
+    dw.einsum = "phbj,ibj->phi";
+    dw.inputs = {"d_qq", "d_kk", "d_vv", "x"};
+    dw.outputs = {"d_w_qkv"};
+    dw.flop = 2.0 * static_cast<double>(p3 * d.h * d.i * d.b * d.j);
+    dw.independent_dims = {{'p', p3}, {'h', d.h}, {'i', d.i}};
+    dw.reduction_dims = {{'b', d.b}, {'j', d.j}};
+    g.AddOp(std::move(dw));
+  }
+  {
+    // Attention input bias gradient over all three projections (BAIB).
+    OpNode op;
+    op.name = "input bias dW";
+    op.kind = OpKind::kBiasDW;
+    op.inputs = {"d_qq", "d_kk", "d_vv"};
+    op.outputs = {"d_b_qkv"};
+    op.independent_dims = {{'p', p3}, {'h', d.h}};
+    op.reduction_dims = {{'b', d.b}, {'j', d.j}};
+    op.flop = static_cast<double>(3 * g.tensor("qq").shape.num_elements());
+    g.AddOp(std::move(op));
+  }
+  AddMapOp(g, "encoder input bwd", OpKind::kResidualBwd,
+           {"d_x_qkv", "d_resid1"}, {"d_x"}, "x");
+  return g;
+}
+
+}  // namespace xflow::graph

@@ -1,0 +1,57 @@
+// Builders for the paper's dataflow graphs: multi-head attention (Fig. 1)
+// and the full BERT encoder layer, forward + backward (Fig. 2 / Table III).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace xflow::graph {
+
+/// Model dimensions, named as in the paper (Sec. III-D):
+/// B=8, J=K=512, H=16, P=W=64, I=P*H=1024, U=4I=4096 for BERT-large.
+struct ModelDims {
+  std::int64_t b = 8;     // mini-batch
+  std::int64_t j = 512;   // query sequence length
+  std::int64_t k = 512;   // key/value sequence length
+  std::int64_t h = 16;    // attention heads
+  std::int64_t p = 64;    // key/query projection size (w = p for values)
+  std::int64_t i = 1024;  // embedding size
+  std::int64_t u = 4096;  // feed-forward intermediate size
+
+  static ModelDims BertLarge() { return {}; }
+  /// The paper's second configuration (Sec. VI-C): B=96, L=128.
+  static ModelDims BertLargeB96() {
+    ModelDims d;
+    d.b = 96;
+    d.j = d.k = 128;
+    return d;
+  }
+  /// Reduced dimensions for unit tests (numerics are size-independent).
+  static ModelDims Tiny() {
+    ModelDims d;
+    d.b = 2;
+    d.j = d.k = 6;
+    d.h = 2;
+    d.p = 4;
+    d.i = 8;
+    d.u = 12;
+    return d;
+  }
+};
+
+/// The algebraic-fusion choice for the Q/K/V input projections (Sec. IV-D).
+enum class AlgebraicFusion { kNone, kQK, kQKV };
+
+/// Multi-head attention forward graph with distinct query/key/value inputs
+/// (general attention), matching the paper's Fig. 1.
+DataflowGraph BuildMhaForward(const ModelDims& dims);
+
+/// Full BERT encoder layer graph (self-attention + feed-forward), at the
+/// operator granularity of Table III. With `include_backward`, the
+/// backpropagation operators are appended in the paper's order.
+DataflowGraph BuildEncoder(const ModelDims& dims,
+                           AlgebraicFusion fusion = AlgebraicFusion::kQKV,
+                           bool include_backward = true);
+
+}  // namespace xflow::graph

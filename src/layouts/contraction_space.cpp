@@ -1,0 +1,105 @@
+#include "layouts/contraction_space.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace xflow::layouts {
+
+std::vector<ContractionTile> PaperContractionTiles(const graph::ModelDims& d) {
+  // Labels and extents follow Fig. 4 (cuBLAS convention: M is the larger
+  // free dim). bj = b*j flattened; i = p*h.
+  const std::int64_t bj = d.b * d.j;
+  const std::int64_t i = d.i;
+  const std::int64_t u = d.u;
+  const std::int64_t heads = d.h * d.b;
+  return {
+      {"dXQK", {.m = bj, .n = i, .k = 2 * i, .batch = 1}},
+      {"dXQKV", {.m = bj, .n = i, .k = 3 * i, .batch = 1}},
+      {"KV", {.m = bj, .n = 2 * i, .k = i, .batch = 1}},
+      {"QKV", {.m = bj, .n = 3 * i, .k = i, .batch = 1}},
+      {"dX1gamma, QKT", {.m = d.j, .n = d.k, .k = d.p, .batch = heads}},
+      {"dX1QKT, dX2gamma, dX2QKT, gamma",
+       {.m = d.j, .n = d.p, .k = d.k, .batch = heads}},
+      {"dXlin2, lin1", {.m = bj, .n = u, .k = i, .batch = 1}},
+      {"dXout, dXQ, out, Q", {.m = bj, .n = i, .k = i, .batch = 1}},
+      {"dWlin1, dWlin2, dXlin1, lin2", {.m = bj, .n = i, .k = u, .batch = 1}},
+      {"dWout, dWQ", {.m = i, .n = i, .k = bj, .batch = 1}},
+      {"dWQK", {.m = 2 * i, .n = i, .k = bj, .batch = 1}},
+      {"dWQKV", {.m = 3 * i, .n = i, .k = bj, .batch = 1}},
+  };
+}
+
+std::string GemmLayout::Describe() const {
+  return StrFormat("%c%c%c%s", a_transposed ? 'T' : 'N',
+                   b_transposed ? 'T' : 'N', c_transposed ? 'T' : 'N',
+                   batch_interleaved ? "+interleaved" : "");
+}
+
+std::vector<GemmLayout> AllGemmLayouts(bool batched) {
+  std::vector<GemmLayout> out;
+  for (int mask = 0; mask < 8; ++mask) {
+    for (int inter = 0; inter < (batched ? 2 : 1); ++inter) {
+      out.push_back({.a_transposed = (mask & 1) != 0,
+                     .b_transposed = (mask & 2) != 0,
+                     .c_transposed = (mask & 4) != 0,
+                     .batch_interleaved = inter != 0});
+    }
+  }
+  return out;
+}
+
+double GemmLayoutFactor(const GemmLayout& layout, const GemmExtents& e) {
+  // NN GEMMs stream both operands contiguously; transposing A costs less
+  // than transposing B (A panels are staged through shared memory anyway);
+  // writing C transposed serializes stores. Interleaved batch strides break
+  // L2 locality across the batch.
+  double f = 1.0;
+  if (layout.a_transposed) f *= 0.96;
+  if (layout.b_transposed) f *= 0.91;
+  if (layout.c_transposed) f *= 0.93;
+  if (layout.batch_interleaved) f *= 0.90;
+  // Deterministic shape interaction: some transpose combos tile better for
+  // particular extents (this is why exhaustive search beats rules).
+  std::uint64_t h = static_cast<std::uint64_t>(e.m * 1315423911 + e.n) ^
+                    (static_cast<std::uint64_t>(e.k) << 17) ^
+                    (static_cast<std::uint64_t>(layout.a_transposed) << 1) ^
+                    (static_cast<std::uint64_t>(layout.b_transposed) << 2) ^
+                    (static_cast<std::uint64_t>(layout.c_transposed) << 3);
+  h ^= h >> 23;
+  h *= 0x2127'599B'F432'5C37ull;
+  h ^= h >> 47;
+  f *= 0.97 + 0.03 * (static_cast<double>(h % 1000) / 999.0);
+  return f;
+}
+
+std::vector<ContractionSample> SweepContraction(const sim::GpuModel& model,
+                                                const GemmExtents& extents,
+                                                bool tensor_cores,
+                                                bool batched) {
+  std::vector<ContractionSample> samples;
+  for (const auto& layout : AllGemmLayouts(batched)) {
+    const double lf = GemmLayoutFactor(layout, extents);
+    for (int algo = 0; algo < sim::kNumGemmAlgorithms; ++algo) {
+      sim::ContractionConfig cfg{
+          .tensor_cores = tensor_cores, .algorithm = algo, .layout_factor = lf};
+      samples.push_back({.layout = layout,
+                         .algorithm = algo,
+                         .tensor_cores = tensor_cores,
+                         .timing = model.Contraction(extents, cfg)});
+    }
+  }
+  return samples;
+}
+
+ContractionSample BestSample(
+    const std::vector<ContractionSample>& samples) {
+  require(!samples.empty(), "sweep produced no samples");
+  return *std::min_element(samples.begin(), samples.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.timing.time_us < b.timing.time_us;
+                           });
+}
+
+}  // namespace xflow::layouts

@@ -1,0 +1,63 @@
+// Layout / algorithm search space for tensor contractions (Sec. V-A).
+//
+// For every contraction in encoder training we benchmark, through the
+// device model, all equivalent operand/output layouts (transpositions and
+// batch-stride interleavings expressible to a cuBLAS-style API), every
+// algorithm, and both tensor-core and fp16-FPU execution -- the data behind
+// the paper's Fig. 4 violins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "sim/kernel_model.hpp"
+
+namespace xflow::layouts {
+
+/// One Fig. 4 tile: a contraction shape appearing in encoder training,
+/// with the paper's label (equivalent contractions share a tile).
+struct ContractionTile {
+  std::string label;       // e.g. "dXlin2, lin1"
+  GemmExtents extents;     // cuBLAS convention, M >= N as in the figure
+};
+
+/// The twelve tiles of Fig. 4 for the given model dimensions.
+std::vector<ContractionTile> PaperContractionTiles(const graph::ModelDims& d);
+
+/// Layout choice for one GEMM call: operand transpositions plus whether the
+/// batch dimension is interleaved (strided) or outermost (contiguous).
+struct GemmLayout {
+  bool a_transposed = false;
+  bool b_transposed = false;
+  bool c_transposed = false;
+  bool batch_interleaved = false;
+
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// All feasible layout choices (8 transposition combos x batch placement).
+std::vector<GemmLayout> AllGemmLayouts(bool batched);
+
+/// Efficiency of a layout choice in (0, 1]; deterministic per extents.
+double GemmLayoutFactor(const GemmLayout& layout, const GemmExtents& e);
+
+/// One evaluated configuration.
+struct ContractionSample {
+  GemmLayout layout;
+  int algorithm = 0;
+  bool tensor_cores = true;
+  sim::KernelTiming timing;
+};
+
+/// Evaluate every (layout x algorithm) configuration of a contraction.
+std::vector<ContractionSample> SweepContraction(const sim::GpuModel& model,
+                                                const GemmExtents& extents,
+                                                bool tensor_cores,
+                                                bool batched);
+
+/// Best configuration of a sweep (by time).
+ContractionSample BestSample(
+    const std::vector<ContractionSample>& samples);
+
+}  // namespace xflow::layouts

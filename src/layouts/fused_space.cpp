@@ -1,0 +1,156 @@
+#include "layouts/fused_space.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "common/strings.hpp"
+#include "sim/calibration.hpp"
+
+namespace xflow::layouts {
+
+FusedKernelSpace SpaceFromKernel(const graph::DataflowGraph& g,
+                                 const fusion::FusedKernel& k) {
+  require(!k.IsContraction(g), "contractions use the GEMM space");
+  FusedKernelSpace s;
+  s.kernel_name = k.name;
+  s.member_ops = static_cast<int>(k.op_indices.size());
+
+  // Primary shape: the largest tensor the kernel touches.
+  std::int64_t largest = 0;
+  for (const auto& lists : {k.external_inputs, k.external_outputs}) {
+    for (const auto& t : lists) {
+      const auto& shape = g.tensor(t).shape;
+      if (shape.num_elements() > largest) {
+        largest = shape.num_elements();
+        s.primary = shape;
+      }
+    }
+  }
+  if (!k.reduction_dims.empty()) {
+    // A single warp-reduction dim drives the kernel template; use the first
+    // reduced dim present in the primary shape (e.g. 'k' for SM, 'i' for
+    // layernorm dX, 'b' for the dW reductions over b,j).
+    for (char d : k.reduction_dims) {
+      if (s.primary.has(d)) {
+        s.reduce_dim = d;
+        break;
+      }
+    }
+  }
+
+  double elems_min = 0;
+  for (const auto& lists : {k.external_inputs, k.external_outputs}) {
+    for (const auto& t : lists) {
+      elems_min += static_cast<double>(g.tensor(t).shape.num_elements());
+    }
+  }
+  s.min_bytes = elems_min * kHalfBytes;
+  s.actual_bytes = s.min_bytes;  // fused kernels move exactly their I/O
+  for (int idx : k.op_indices) {
+    s.flop += g.ops()[static_cast<std::size_t>(idx)].flop;
+  }
+  return s;
+}
+
+std::string FusedConfig::Describe() const {
+  return StrFormat("in=%s out=%s vec=%c%s", in_layout.c_str(),
+                   out_layout.c_str(), vector_dim ? vector_dim : '-',
+                   warp_dim ? StrFormat(" warp=%c", warp_dim).c_str() : "");
+}
+
+double FusedConfigBandwidthFrac(const FusedKernelSpace& space,
+                                const FusedConfig& cfg) {
+  double f = sim::TunedKernelBandwidthFrac(space.kernel_name);
+
+  // Vectorized 16-byte accesses need the vector dim innermost (sequential).
+  const bool in_vec = !cfg.in_layout.empty() &&
+                      cfg.in_layout.back() == cfg.vector_dim;
+  const bool out_vec = !cfg.out_layout.empty() &&
+                       cfg.out_layout.back() == cfg.vector_dim;
+  f *= in_vec ? 1.0 : 0.34;
+  f *= out_vec ? 1.0 : 0.34;
+
+  // Eight fp16 lanes per vector: a short dimension cannot fill them.
+  if (space.primary.has(cfg.vector_dim) &&
+      space.primary.extent(cfg.vector_dim) < 8) {
+    f *= 0.55;
+  }
+
+  if (space.reduce_dim != '\0') {
+    // Reducing along the warp dimension uses register shuffles; any other
+    // placement spills partials through shared memory.
+    f *= cfg.warp_dim == space.reduce_dim ? 1.0 : 0.50;
+    // Joining reduce and vector dims cuts register pressure from the vector
+    // width to one accumulator (Sec. V-B).
+    f *= cfg.warp_dim == cfg.vector_dim ? 1.0 : 0.84;
+    // Fully strided reductions (reduce dim outermost in both layouts) are
+    // the pathological tail of Fig. 5.
+    const bool in_outer = !cfg.in_layout.empty() &&
+                          cfg.in_layout.front() == space.reduce_dim;
+    const bool out_outer = !cfg.out_layout.empty() &&
+                           cfg.out_layout.front() == space.reduce_dim;
+    if (in_outer && out_outer && !in_vec && !out_vec) f *= 0.18;
+  }
+
+  // Mismatched input/output orders force a transposing access pattern on
+  // one side; the cost grows with how far the permutation is from identity.
+  if (cfg.in_layout != cfg.out_layout) {
+    int displaced = 0;
+    for (std::size_t i = 0; i < cfg.in_layout.size(); ++i) {
+      displaced += cfg.in_layout[i] != cfg.out_layout[i];
+    }
+    f *= 1.0 - 0.08 * displaced;
+  }
+  return f;
+}
+
+std::vector<FusedSample> SweepFusedKernel(const sim::GpuModel& model,
+                                          const FusedKernelSpace& space) {
+  std::vector<FusedSample> samples;
+  const auto perms = AllPermutations(space.primary.names());
+  std::string dims = space.primary.names();
+
+  std::vector<char> warp_dims;
+  if (space.reduce_dim == '\0') {
+    warp_dims.push_back('\0');
+  } else {
+    warp_dims.assign(dims.begin(), dims.end());
+  }
+
+  const double overhead =
+      space.kernel_name == "SM" || space.kernel_name == "BS" ? 10.0 : 1.0;
+  for (const auto& in_layout : perms) {
+    for (const auto& out_layout : perms) {
+      for (char vec : dims) {
+        for (char warp : warp_dims) {
+          FusedConfig cfg{.in_layout = in_layout,
+                          .out_layout = out_layout,
+                          .vector_dim = vec,
+                          .warp_dim = warp};
+          const double frac = FusedConfigBandwidthFrac(space, cfg);
+          sim::MemoryConfig mc{.bandwidth_frac = frac,
+                               .flop_per_byte_overhead = overhead,
+                               .kernel_launches = 1};
+          samples.push_back(
+              {.config = cfg,
+               .bandwidth_frac = frac,
+               .timing = model.MemoryBoundKernel(space.min_bytes,
+                                                 space.actual_bytes,
+                                                 space.flop, mc)});
+        }
+      }
+    }
+  }
+  return samples;
+}
+
+FusedSample BestFusedSample(const std::vector<FusedSample>& samples) {
+  require(!samples.empty(), "sweep produced no samples");
+  return *std::min_element(samples.begin(), samples.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.timing.time_us < b.timing.time_us;
+                           });
+}
+
+}  // namespace xflow::layouts

@@ -1,0 +1,63 @@
+// Configuration search space for the fused element-wise / statistical
+// normalization kernels (Sec. V-B, Fig. 5).
+//
+// Each fused kernel exposes: the memory layout (dimension order) of its
+// primary input and output, the vectorization dimension, and -- for kernels
+// with reductions -- the warp-reduction dimension. The paper benchmarks
+// every combination; distributions have long tails (a bad configuration can
+// be orders of magnitude slower).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fusion/fuser.hpp"
+#include "graph/graph.hpp"
+#include "sim/kernel_model.hpp"
+
+namespace xflow::layouts {
+
+/// Everything needed to cost one fused kernel's configurations.
+struct FusedKernelSpace {
+  std::string kernel_name;   // paper name, keys the calibration table
+  Shape primary;             // the shape whose dims define the config space
+  char reduce_dim = '\0';    // '\0' when the kernel performs no reduction
+  double min_bytes = 0;      // I/O lower bound Q
+  double actual_bytes = 0;   // external I/O of the fused kernel
+  double flop = 0;
+  int member_ops = 1;
+};
+
+/// Build the space descriptor for a fused kernel from the dataflow graph.
+FusedKernelSpace SpaceFromKernel(const graph::DataflowGraph& g,
+                                 const fusion::FusedKernel& k);
+
+struct FusedConfig {
+  std::string in_layout;   // dim order of the primary input
+  std::string out_layout;  // dim order of the primary output
+  char vector_dim = '\0';
+  char warp_dim = '\0';    // reduction kernels only
+
+  [[nodiscard]] std::string Describe() const;
+};
+
+struct FusedSample {
+  FusedConfig config;
+  double bandwidth_frac = 0;
+  sim::KernelTiming timing;
+};
+
+/// The achieved-bandwidth fraction of one configuration: vectorization of
+/// input/output, vector-width feasibility, warp-reduction placement, and
+/// the register-pressure interaction the paper describes (joining reduce
+/// and vector dims frees registers).
+double FusedConfigBandwidthFrac(const FusedKernelSpace& space,
+                                const FusedConfig& cfg);
+
+/// Evaluate every configuration (layouts x vector dim x warp dim).
+std::vector<FusedSample> SweepFusedKernel(const sim::GpuModel& model,
+                                          const FusedKernelSpace& space);
+
+FusedSample BestFusedSample(const std::vector<FusedSample>& samples);
+
+}  // namespace xflow::layouts

@@ -1,0 +1,51 @@
+// Shared kernel plumbing: 4-deep nested loops over a padded dimension list.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ops/iter.hpp"
+
+namespace xflow::ops::detail {
+
+/// Loop dimensions of a kernel: the output's dims in memory order, padded to
+/// four entries ('\0' with extent 1).
+struct LoopDims {
+  std::array<char, 4> names{};
+  std::array<std::int64_t, 4> extents{1, 1, 1, 1};
+};
+
+inline LoopDims LoopOverOutput(const Shape& out_shape) {
+  require(out_shape.rank() <= 4, "kernels support rank <= 4");
+  LoopDims ld;
+  const auto& dims = out_shape.dims();
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    ld.names[d] = dims[d].name;
+    ld.extents[d] = dims[d].extent;
+  }
+  return ld;
+}
+
+template <typename Fn>
+inline void For4(const std::array<std::int64_t, 4>& e, Fn&& fn) {
+  for (std::int64_t a = 0; a < e[0]; ++a) {
+    for (std::int64_t b = 0; b < e[1]; ++b) {
+      for (std::int64_t c = 0; c < e[2]; ++c) {
+        for (std::int64_t d = 0; d < e[3]; ++d) fn(a, b, c, d);
+      }
+    }
+  }
+}
+
+template <typename T>
+inline std::int64_t Off(const View<T, 4>& v, std::int64_t a, std::int64_t b,
+                        std::int64_t c, std::int64_t d) {
+  return a * v.stride[0] + b * v.stride[1] + c * v.stride[2] + d * v.stride[3];
+}
+
+inline std::int64_t Dot(const std::array<std::int64_t, 4>& s, std::int64_t a,
+                        std::int64_t b, std::int64_t c, std::int64_t d) {
+  return a * s[0] + b * s[1] + c * s[2] + d * s[3];
+}
+
+}  // namespace xflow::ops::detail

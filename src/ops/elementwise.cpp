@@ -1,0 +1,137 @@
+#include "ops/elementwise.hpp"
+
+#include "ops/detail.hpp"
+
+namespace xflow::ops {
+
+using detail::Dot;
+using detail::For4;
+using detail::LoopOverOutput;
+using detail::Off;
+
+template <typename T>
+void BiasForward(const Tensor<T>& x, const Tensor<T>& bias, Tensor<T>& y) {
+  const auto ld = LoopOverOutput(y.shape());
+  auto xv = View<const T, 4>::Bind(x, ld.names);
+  auto bv = View<const T, 4>::Bind(bias, ld.names);
+  auto yv = View<T, 4>::Bind(y, ld.names);
+  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+    yv.ptr[Off(yv, a, b, c, d)] = T(float(xv.ptr[Off(xv, a, b, c, d)]) +
+                                    float(bv.ptr[Off(bv, a, b, c, d)]));
+  });
+}
+
+template <typename T>
+void ReluForward(const Tensor<T>& x, Tensor<T>& y) {
+  const auto ld = LoopOverOutput(y.shape());
+  auto xv = View<const T, 4>::Bind(x, ld.names);
+  auto yv = View<T, 4>::Bind(y, ld.names);
+  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+    const float v = float(xv.ptr[Off(xv, a, b, c, d)]);
+    yv.ptr[Off(yv, a, b, c, d)] = T(v > 0.0f ? v : 0.0f);
+  });
+}
+
+template <typename T>
+void DropoutForward(const Tensor<T>& x, const DropoutMask& mask, Tensor<T>& y,
+                    Tensor<T>& mask_out) {
+  const auto ld = LoopOverOutput(y.shape());
+  auto xv = View<const T, 4>::Bind(x, ld.names);
+  auto yv = View<T, 4>::Bind(y, ld.names);
+  auto mv = View<T, 4>::Bind(mask_out, ld.names);
+  const auto canon = CanonicalStrides(y.shape(), ld.names);
+  const float scale = mask.Scale();
+  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+    const bool keep =
+        mask.Keep(static_cast<std::uint64_t>(Dot(canon, a, b, c, d)));
+    const float v = keep ? float(xv.ptr[Off(xv, a, b, c, d)]) * scale : 0.0f;
+    yv.ptr[Off(yv, a, b, c, d)] = T(v);
+    mv.ptr[Off(mv, a, b, c, d)] = T(keep ? 1.0f : 0.0f);
+  });
+}
+
+template <typename T>
+void ResidualForward(const Tensor<T>& a, const Tensor<T>& b, Tensor<T>& y) {
+  const auto ld = LoopOverOutput(y.shape());
+  auto av = View<const T, 4>::Bind(a, ld.names);
+  auto bv = View<const T, 4>::Bind(b, ld.names);
+  auto yv = View<T, 4>::Bind(y, ld.names);
+  For4(ld.extents, [&](auto i, auto j, auto k, auto l) {
+    yv.ptr[Off(yv, i, j, k, l)] = T(float(av.ptr[Off(av, i, j, k, l)]) +
+                                    float(bv.ptr[Off(bv, i, j, k, l)]));
+  });
+}
+
+template <typename T>
+void ScaleForward(const Tensor<T>& x, float alpha, Tensor<T>& y) {
+  const auto ld = LoopOverOutput(y.shape());
+  auto xv = View<const T, 4>::Bind(x, ld.names);
+  auto yv = View<T, 4>::Bind(y, ld.names);
+  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+    yv.ptr[Off(yv, a, b, c, d)] = T(alpha * float(xv.ptr[Off(xv, a, b, c, d)]));
+  });
+}
+
+template <typename T>
+void BiasBackwardDW(const Tensor<T>& dy, Tensor<T>& db) {
+  // Accumulate in fp32 scratch indexed by db's layout, then round once.
+  std::vector<float> acc(static_cast<std::size_t>(db.size()), 0.0f);
+  const auto ld = LoopOverOutput(dy.shape());
+  auto dyv = View<const T, 4>::Bind(dy, ld.names);
+  auto dbv = View<T, 4>::Bind(db, ld.names);  // stride 0 on reduced dims
+  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+    acc[static_cast<std::size_t>(Off(dbv, a, b, c, d))] +=
+        float(dyv.ptr[Off(dyv, a, b, c, d)]);
+  });
+  for (std::int64_t i = 0; i < db.size(); ++i) {
+    db.data()[i] = T(acc[static_cast<std::size_t>(i)]);
+  }
+}
+
+template <typename T>
+void ReluBackwardDX(const Tensor<T>& dy, const Tensor<T>& y, Tensor<T>& dx) {
+  const auto ld = LoopOverOutput(dx.shape());
+  auto dyv = View<const T, 4>::Bind(dy, ld.names);
+  auto yv = View<const T, 4>::Bind(y, ld.names);
+  auto dxv = View<T, 4>::Bind(dx, ld.names);
+  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+    const bool active = float(yv.ptr[Off(yv, a, b, c, d)]) > 0.0f;
+    dxv.ptr[Off(dxv, a, b, c, d)] =
+        active ? dyv.ptr[Off(dyv, a, b, c, d)] : T(0.0f);
+  });
+}
+
+template <typename T>
+void DropoutBackwardDX(const Tensor<T>& dy, const Tensor<T>& mask,
+                       float keep_scale, Tensor<T>& dx) {
+  const auto ld = LoopOverOutput(dx.shape());
+  auto dyv = View<const T, 4>::Bind(dy, ld.names);
+  auto mv = View<const T, 4>::Bind(mask, ld.names);
+  auto dxv = View<T, 4>::Bind(dx, ld.names);
+  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+    dxv.ptr[Off(dxv, a, b, c, d)] =
+        T(float(dyv.ptr[Off(dyv, a, b, c, d)]) *
+          float(mv.ptr[Off(mv, a, b, c, d)]) * keep_scale);
+  });
+}
+
+#define XFLOW_INSTANTIATE_ELEMENTWISE(T)                                      \
+  template void BiasForward<T>(const Tensor<T>&, const Tensor<T>&,            \
+                               Tensor<T>&);                                   \
+  template void ReluForward<T>(const Tensor<T>&, Tensor<T>&);                 \
+  template void DropoutForward<T>(const Tensor<T>&, const DropoutMask&,       \
+                                  Tensor<T>&, Tensor<T>&);                    \
+  template void ResidualForward<T>(const Tensor<T>&, const Tensor<T>&,        \
+                                   Tensor<T>&);                               \
+  template void ScaleForward<T>(const Tensor<T>&, float, Tensor<T>&);         \
+  template void BiasBackwardDW<T>(const Tensor<T>&, Tensor<T>&);              \
+  template void ReluBackwardDX<T>(const Tensor<T>&, const Tensor<T>&,         \
+                                  Tensor<T>&);                                \
+  template void DropoutBackwardDX<T>(const Tensor<T>&, const Tensor<T>&,      \
+                                     float, Tensor<T>&)
+
+XFLOW_INSTANTIATE_ELEMENTWISE(Half);
+XFLOW_INSTANTIATE_ELEMENTWISE(float);
+#undef XFLOW_INSTANTIATE_ELEMENTWISE
+
+}  // namespace xflow::ops

@@ -1,0 +1,47 @@
+// Unfused element-wise operators (the ○ class): bias, ReLU, dropout,
+// residual, scale, and their backward variants. Any operand layout is
+// accepted; iteration follows the output's memory order.
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace xflow::ops {
+
+/// y = x + bias, broadcasting bias over the dims it lacks.
+template <typename T>
+void BiasForward(const Tensor<T>& x, const Tensor<T>& bias, Tensor<T>& y);
+
+/// y = max(x, 0).
+template <typename T>
+void ReluForward(const Tensor<T>& x, Tensor<T>& y);
+
+/// Inverted dropout: y = keep ? x / (1-p) : 0. Also materializes the mask
+/// (1/0) for the backward pass, as the paper's dropout operators do. Masks
+/// are indexed canonically, so results are layout-independent.
+template <typename T>
+void DropoutForward(const Tensor<T>& x, const DropoutMask& mask, Tensor<T>& y,
+                    Tensor<T>& mask_out);
+
+/// y = a + b.
+template <typename T>
+void ResidualForward(const Tensor<T>& a, const Tensor<T>& b, Tensor<T>& y);
+
+/// y = alpha * x.
+template <typename T>
+void ScaleForward(const Tensor<T>& x, float alpha, Tensor<T>& y);
+
+/// db = sum of dy over the dims db lacks (bias gradient).
+template <typename T>
+void BiasBackwardDW(const Tensor<T>& dy, Tensor<T>& db);
+
+/// dx = dy where the saved forward output y was positive, else 0.
+template <typename T>
+void ReluBackwardDX(const Tensor<T>& dy, const Tensor<T>& y, Tensor<T>& dx);
+
+/// dx = dy * mask / (1-p).
+template <typename T>
+void DropoutBackwardDX(const Tensor<T>& dy, const Tensor<T>& mask,
+                       float keep_scale, Tensor<T>& dx);
+
+}  // namespace xflow::ops

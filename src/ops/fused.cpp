@@ -1,0 +1,352 @@
+#include "ops/fused.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "ops/detail.hpp"
+
+namespace xflow::ops {
+
+using detail::Dot;
+using detail::For4;
+using detail::LoopOverOutput;
+using detail::Off;
+
+template <typename T>
+void AttnInputBias(const std::array<const Tensor<T>*, 3>& inputs,
+                   const Tensor<T>& stacked_bias, char stack_dim,
+                   const std::array<Tensor<T>*, 3>& outputs) {
+  const std::int64_t slice = inputs[0]->extent(stack_dim);
+  const std::int64_t bias_stride = stacked_bias.stride(stack_dim);
+  for (std::size_t s = 0; s < 3; ++s) {
+    const Tensor<T>& x = *inputs[s];
+    Tensor<T>& y = *outputs[s];
+    const auto ld = LoopOverOutput(y.shape());
+    auto xv = View<const T, 4>::Bind(x, ld.names);
+    auto bv = View<const T, 4>::Bind(stacked_bias, ld.names);
+    auto yv = View<T, 4>::Bind(y, ld.names);
+    const T* bias_base =
+        bv.ptr + static_cast<std::int64_t>(s) * slice * bias_stride;
+    For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+      yv.ptr[Off(yv, a, b, c, d)] = T(float(xv.ptr[Off(xv, a, b, c, d)]) +
+                                      float(bias_base[Off(bv, a, b, c, d)]));
+    });
+  }
+}
+
+template <typename T>
+void BiasReluDropout(const Tensor<T>& x, const Tensor<T>& bias,
+                     const DropoutMask& mask, Tensor<T>& relu_saved,
+                     Tensor<T>& y, Tensor<T>& mask_out) {
+  const auto ld = LoopOverOutput(y.shape());
+  auto xv = View<const T, 4>::Bind(x, ld.names);
+  auto bv = View<const T, 4>::Bind(bias, ld.names);
+  auto rv = View<T, 4>::Bind(relu_saved, ld.names);
+  auto yv = View<T, 4>::Bind(y, ld.names);
+  auto mv = View<T, 4>::Bind(mask_out, ld.names);
+  const auto canon = CanonicalStrides(y.shape(), ld.names);
+  const float scale = mask.Scale();
+  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+    float v = float(xv.ptr[Off(xv, a, b, c, d)]) +
+              float(bv.ptr[Off(bv, a, b, c, d)]);
+    v = v > 0.0f ? v : 0.0f;
+    // ReLU is saved in fp16, so the backward pass sees the rounded value:
+    // recompute the dropout from that rounded number, exactly as the
+    // separate-kernel pipeline would.
+    const T r = T(v);
+    rv.ptr[Off(rv, a, b, c, d)] = r;
+    const bool keep =
+        mask.Keep(static_cast<std::uint64_t>(Dot(canon, a, b, c, d)));
+    yv.ptr[Off(yv, a, b, c, d)] = T(keep ? float(r) * scale : 0.0f);
+    mv.ptr[Off(mv, a, b, c, d)] = T(keep ? 1.0f : 0.0f);
+  });
+}
+
+template <typename T>
+void BiasDropoutResidualLayerNorm(const Tensor<T>& x, const Tensor<T>& bias,
+                                  const Tensor<T>& residual_in,
+                                  const DropoutMask& mask,
+                                  const Tensor<T>& ln_gamma,
+                                  const Tensor<T>& ln_beta, char norm_dim,
+                                  float eps, Tensor<T>& resid_saved,
+                                  Tensor<T>& mask_out, Tensor<T>& y,
+                                  TensorF& ln_mean, TensorF& ln_rstd) {
+  // Loop with norm_dim innermost so the reduction-then-map structure of the
+  // paper's two-loop fused kernels applies directly.
+  require(y.shape().rank() <= 4, "rank <= 4");
+  detail::LoopDims ld;
+  std::size_t slot = 0;
+  for (const auto& dim : y.shape().dims()) {
+    if (dim.name == norm_dim) continue;
+    ld.names[slot] = dim.name;
+    ld.extents[slot] = dim.extent;
+    ++slot;
+  }
+  ld.names[3] = norm_dim;
+  ld.extents[3] = y.shape().extent(norm_dim);
+
+  auto xv = View<const T, 4>::Bind(x, ld.names);
+  auto bv = View<const T, 4>::Bind(bias, ld.names);
+  auto resinv = View<const T, 4>::Bind(residual_in, ld.names);
+  auto gv = View<const T, 4>::Bind(ln_gamma, ld.names);
+  auto betav = View<const T, 4>::Bind(ln_beta, ld.names);
+  auto resv = View<T, 4>::Bind(resid_saved, ld.names);
+  auto mv = View<T, 4>::Bind(mask_out, ld.names);
+  auto yv = View<T, 4>::Bind(y, ld.names);
+  auto meanv = View<float, 4>::Bind(ln_mean, ld.names);
+  auto rstdv = View<float, 4>::Bind(ln_rstd, ld.names);
+  const auto canon = CanonicalStrides(y.shape(), ld.names);
+  const float scale = mask.Scale();
+  const std::int64_t n = ld.extents[3];
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
+    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
+      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
+        // Loop 1: bias + dropout + residual, accumulate moments.
+        float sum = 0, sum_sq = 0;
+        for (std::int64_t k = 0; k < n; ++k) {
+          // Match the unfused pipeline bit-for-bit: every interim that the
+          // separate-kernel pipeline would write to memory (biased value,
+          // dropout output) is rounded to T at the same point here.
+          const float biased =
+              float(T(float(xv.ptr[Off(xv, a, b, c, k)]) +
+                      float(bv.ptr[Off(bv, a, b, c, k)])));
+          const bool keep =
+              mask.Keep(static_cast<std::uint64_t>(Dot(canon, a, b, c, k)));
+          const float dropped = float(T(keep ? biased * scale : 0.0f));
+          const T resid =
+              T(dropped + float(resinv.ptr[Off(resinv, a, b, c, k)]));
+          resv.ptr[Off(resv, a, b, c, k)] = resid;
+          mv.ptr[Off(mv, a, b, c, k)] = T(keep ? 1.0f : 0.0f);
+          sum += float(resid);
+          sum_sq += float(resid) * float(resid);
+        }
+        const float mu = sum * inv_n;
+        const float var = std::max(sum_sq * inv_n - mu * mu, 0.0f);
+        const float rs = 1.0f / std::sqrt(var + eps);
+        meanv.ptr[Off(meanv, a, b, c, 0)] = mu;
+        rstdv.ptr[Off(rstdv, a, b, c, 0)] = rs;
+        // Loop 2: apply the normalization.
+        for (std::int64_t k = 0; k < n; ++k) {
+          const float r = float(resv.ptr[Off(resv, a, b, c, k)]);
+          const float g = float(gv.ptr[Off(gv, a, b, c, k)]);
+          const float bb = float(betav.ptr[Off(betav, a, b, c, k)]);
+          yv.ptr[Off(yv, a, b, c, k)] = T((r - mu) * rs * g + bb);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void LayerNormDropoutBackward(const Tensor<T>& dy, const Tensor<T>& ln_gamma,
+                              const Tensor<T>& x_saved, const TensorF& mean,
+                              const TensorF& rstd, const Tensor<T>& drop_mask,
+                              char norm_dim, float keep_scale,
+                              Tensor<T>& d_resid, Tensor<T>& d_out) {
+  require(d_out.shape().rank() <= 4, "rank <= 4");
+  detail::LoopDims ld;
+  std::size_t slot = 0;
+  for (const auto& dim : d_out.shape().dims()) {
+    if (dim.name == norm_dim) continue;
+    ld.names[slot] = dim.name;
+    ld.extents[slot] = dim.extent;
+    ++slot;
+  }
+  ld.names[3] = norm_dim;
+  ld.extents[3] = d_out.shape().extent(norm_dim);
+
+  auto dyv = View<const T, 4>::Bind(dy, ld.names);
+  auto gv = View<const T, 4>::Bind(ln_gamma, ld.names);
+  auto xv = View<const T, 4>::Bind(x_saved, ld.names);
+  auto meanv = View<const float, 4>::Bind(mean, ld.names);
+  auto rstdv = View<const float, 4>::Bind(rstd, ld.names);
+  auto mv = View<const T, 4>::Bind(drop_mask, ld.names);
+  auto drv = View<T, 4>::Bind(d_resid, ld.names);
+  auto dov = View<T, 4>::Bind(d_out, ld.names);
+  const std::int64_t n = ld.extents[3];
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
+    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
+      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
+        const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+        const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+        float sum_g = 0, sum_gx = 0;
+        for (std::int64_t k = 0; k < n; ++k) {
+          const float g = float(dyv.ptr[Off(dyv, a, b, c, k)]) *
+                          float(gv.ptr[Off(gv, a, b, c, k)]);
+          const float xhat =
+              (float(xv.ptr[Off(xv, a, b, c, k)]) - mu) * rs;
+          sum_g += g;
+          sum_gx += g * xhat;
+        }
+        const float mean_g = sum_g * inv_n;
+        const float mean_gx = sum_gx * inv_n;
+        for (std::int64_t k = 0; k < n; ++k) {
+          const float g = float(dyv.ptr[Off(dyv, a, b, c, k)]) *
+                          float(gv.ptr[Off(gv, a, b, c, k)]);
+          const float xhat =
+              (float(xv.ptr[Off(xv, a, b, c, k)]) - mu) * rs;
+          const T dr = T(rs * (g - mean_g - xhat * mean_gx));
+          drv.ptr[Off(drv, a, b, c, k)] = dr;
+          dov.ptr[Off(dov, a, b, c, k)] =
+              T(float(dr) * float(mv.ptr[Off(mv, a, b, c, k)]) * keep_scale);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void BiasDropoutReluBiasBackward(const Tensor<T>& dy_hi,
+                                 const Tensor<T>& dy_lo,
+                                 const Tensor<T>& drop_mask,
+                                 const Tensor<T>& relu_saved, float keep_scale,
+                                 Tensor<T>& d_bias_hi, Tensor<T>& d_x_lo,
+                                 Tensor<T>& d_bias_lo) {
+  // Stream 1: bias gradient of the upper (embedding-width) tensor.
+  {
+    std::vector<float> acc(static_cast<std::size_t>(d_bias_hi.size()), 0.0f);
+    const auto ld = LoopOverOutput(dy_hi.shape());
+    auto dyv = View<const T, 4>::Bind(dy_hi, ld.names);
+    auto dbv = View<T, 4>::Bind(d_bias_hi, ld.names);
+    For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+      acc[static_cast<std::size_t>(Off(dbv, a, b, c, d))] +=
+          float(dyv.ptr[Off(dyv, a, b, c, d)]);
+    });
+    for (std::int64_t i = 0; i < d_bias_hi.size(); ++i) {
+      d_bias_hi.data()[i] = T(acc[static_cast<std::size_t>(i)]);
+    }
+  }
+  // Stream 2: dropout dX -> relu dX -> bias dW, without storing interims.
+  {
+    std::vector<float> acc(static_cast<std::size_t>(d_bias_lo.size()), 0.0f);
+    const auto ld = LoopOverOutput(d_x_lo.shape());
+    auto dyv = View<const T, 4>::Bind(dy_lo, ld.names);
+    auto mv = View<const T, 4>::Bind(drop_mask, ld.names);
+    auto rv = View<const T, 4>::Bind(relu_saved, ld.names);
+    auto dxv = View<T, 4>::Bind(d_x_lo, ld.names);
+    auto dbv = View<T, 4>::Bind(d_bias_lo, ld.names);
+    For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+      // Match unfused pipeline: dropout dX result is rounded to T before
+      // the ReLU gate, as it would be when written to memory.
+      const float dd = float(T(float(dyv.ptr[Off(dyv, a, b, c, d)]) *
+                               float(mv.ptr[Off(mv, a, b, c, d)]) *
+                               keep_scale));
+      const bool active = float(rv.ptr[Off(rv, a, b, c, d)]) > 0.0f;
+      const T dx = active ? T(dd) : T(0.0f);
+      dxv.ptr[Off(dxv, a, b, c, d)] = dx;
+      acc[static_cast<std::size_t>(Off(dbv, a, b, c, d))] += float(dx);
+    });
+    for (std::int64_t i = 0; i < d_bias_lo.size(); ++i) {
+      d_bias_lo.data()[i] = T(acc[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+template <typename T>
+void ResidualLayerNormDwBackward(const Tensor<T>& da, const Tensor<T>& db,
+                                 const Tensor<T>& x_saved, const TensorF& mean,
+                                 const TensorF& rstd, char norm_dim,
+                                 Tensor<T>& d_sum, Tensor<T>& dgamma,
+                                 Tensor<T>& dbeta) {
+  require(dgamma.shape().names() == std::string(1, norm_dim),
+          "dgamma is 1-D over the normalized dimension");
+  detail::LoopDims ld;
+  std::size_t slot = 0;
+  for (const auto& dim : d_sum.shape().dims()) {
+    if (dim.name == norm_dim) continue;
+    ld.names[slot] = dim.name;
+    ld.extents[slot] = dim.extent;
+    ++slot;
+  }
+  ld.names[3] = norm_dim;
+  ld.extents[3] = d_sum.shape().extent(norm_dim);
+
+  auto dav = View<const T, 4>::Bind(da, ld.names);
+  auto dbv = View<const T, 4>::Bind(db, ld.names);
+  auto xv = View<const T, 4>::Bind(x_saved, ld.names);
+  auto meanv = View<const float, 4>::Bind(mean, ld.names);
+  auto rstdv = View<const float, 4>::Bind(rstd, ld.names);
+  auto dsv = View<T, 4>::Bind(d_sum, ld.names);
+  const std::int64_t n = ld.extents[3];
+  std::vector<float> acc_g(static_cast<std::size_t>(n), 0.0f);
+  std::vector<float> acc_b(static_cast<std::size_t>(n), 0.0f);
+
+  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
+    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
+      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
+        const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+        const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+        for (std::int64_t k = 0; k < n; ++k) {
+          const T ds = T(float(dav.ptr[Off(dav, a, b, c, k)]) +
+                         float(dbv.ptr[Off(dbv, a, b, c, k)]));
+          dsv.ptr[Off(dsv, a, b, c, k)] = ds;
+          const float xhat =
+              (float(xv.ptr[Off(xv, a, b, c, k)]) - mu) * rs;
+          acc_g[static_cast<std::size_t>(k)] += float(ds) * xhat;
+          acc_b[static_cast<std::size_t>(k)] += float(ds);
+        }
+      }
+    }
+  }
+  for (std::int64_t k = 0; k < n; ++k) {
+    dgamma.data()[k] = T(acc_g[static_cast<std::size_t>(k)]);
+    dbeta.data()[k] = T(acc_b[static_cast<std::size_t>(k)]);
+  }
+}
+
+template <typename T>
+void AttnInputBiasBackward(const std::array<const Tensor<T>*, 3>& d_inputs,
+                           char stack_dim, Tensor<T>& d_stacked_bias) {
+  std::vector<float> acc(static_cast<std::size_t>(d_stacked_bias.size()),
+                         0.0f);
+  const std::int64_t slice = d_inputs[0]->extent(stack_dim);
+  const std::int64_t stack_stride = d_stacked_bias.stride(stack_dim);
+  for (std::size_t s = 0; s < 3; ++s) {
+    const Tensor<T>& dy = *d_inputs[s];
+    const auto ld = LoopOverOutput(dy.shape());
+    auto dyv = View<const T, 4>::Bind(dy, ld.names);
+    auto dbv = View<T, 4>::Bind(d_stacked_bias, ld.names);
+    const std::int64_t base =
+        static_cast<std::int64_t>(s) * slice * stack_stride;
+    For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
+      acc[static_cast<std::size_t>(base + Off(dbv, a, b, c, d))] +=
+          float(dyv.ptr[Off(dyv, a, b, c, d)]);
+    });
+  }
+  for (std::int64_t i = 0; i < d_stacked_bias.size(); ++i) {
+    d_stacked_bias.data()[i] = T(acc[static_cast<std::size_t>(i)]);
+  }
+}
+
+#define XFLOW_INSTANTIATE_FUSED(T)                                            \
+  template void AttnInputBias<T>(const std::array<const Tensor<T>*, 3>&,      \
+                                 const Tensor<T>&, char,                      \
+                                 const std::array<Tensor<T>*, 3>&);           \
+  template void BiasReluDropout<T>(const Tensor<T>&, const Tensor<T>&,        \
+                                   const DropoutMask&, Tensor<T>&,            \
+                                   Tensor<T>&, Tensor<T>&);                   \
+  template void BiasDropoutResidualLayerNorm<T>(                              \
+      const Tensor<T>&, const Tensor<T>&, const Tensor<T>&,                   \
+      const DropoutMask&, const Tensor<T>&, const Tensor<T>&, char, float,    \
+      Tensor<T>&, Tensor<T>&, Tensor<T>&, TensorF&, TensorF&);                \
+  template void LayerNormDropoutBackward<T>(                                  \
+      const Tensor<T>&, const Tensor<T>&, const Tensor<T>&, const TensorF&,   \
+      const TensorF&, const Tensor<T>&, char, float, Tensor<T>&, Tensor<T>&); \
+  template void BiasDropoutReluBiasBackward<T>(                               \
+      const Tensor<T>&, const Tensor<T>&, const Tensor<T>&, const Tensor<T>&, \
+      float, Tensor<T>&, Tensor<T>&, Tensor<T>&);                             \
+  template void ResidualLayerNormDwBackward<T>(                               \
+      const Tensor<T>&, const Tensor<T>&, const Tensor<T>&, const TensorF&,   \
+      const TensorF&, char, Tensor<T>&, Tensor<T>&, Tensor<T>&);              \
+  template void AttnInputBiasBackward<T>(                                     \
+      const std::array<const Tensor<T>*, 3>&, char, Tensor<T>&)
+
+XFLOW_INSTANTIATE_FUSED(Half);
+XFLOW_INSTANTIATE_FUSED(float);
+#undef XFLOW_INSTANTIATE_FUSED
+
+}  // namespace xflow::ops

@@ -1,0 +1,30 @@
+// Layer normalization (⬜ class): forward, input gradient, parameter
+// gradients. Normalizes over one dimension (the embedding dim 'i' in BERT).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace xflow::ops {
+
+/// y = (x - mean) * rstd * gamma + beta, normalizing over `norm_dim`.
+/// `mean` and `rstd` (1/sqrt(var + eps)) are emitted for the backward pass;
+/// their shapes are x's shape without `norm_dim`.
+template <typename T>
+void LayerNormForward(const Tensor<T>& x, const Tensor<T>& gamma,
+                      const Tensor<T>& beta, char norm_dim, float eps,
+                      Tensor<T>& y, TensorF& mean, TensorF& rstd);
+
+/// dx = rstd * (g - mean(g) - xhat * mean(g * xhat)), with g = dy * gamma
+/// and xhat the normalized forward input (recomputed from x, mean, rstd).
+template <typename T>
+void LayerNormBackwardDX(const Tensor<T>& dy, const Tensor<T>& gamma,
+                         const Tensor<T>& x, const TensorF& mean,
+                         const TensorF& rstd, char norm_dim, Tensor<T>& dx);
+
+/// dgamma = sum(dy * xhat), dbeta = sum(dy), reducing all non-norm dims.
+template <typename T>
+void LayerNormBackwardDW(const Tensor<T>& dy, const Tensor<T>& x,
+                         const TensorF& mean, const TensorF& rstd,
+                         char norm_dim, Tensor<T>& dgamma, Tensor<T>& dbeta);
+
+}  // namespace xflow::ops

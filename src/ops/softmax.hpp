@@ -1,0 +1,46 @@
+// Softmax-family operators (⬜ class): plain softmax over one dimension and
+// the paper's scaled-softmax-with-dropout (the SM / BS fused kernels).
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace xflow::ops {
+
+/// y = softmax(x) along `reduce_dim` (numerically stable; fp32 math).
+template <typename T>
+void SoftmaxForward(const Tensor<T>& x, char reduce_dim, Tensor<T>& y);
+
+/// The SM kernel: alpha = dropout(softmax(scale * beta)) along `reduce_dim`.
+/// Also emits the dropout mask and the pre-dropout softmax result, both
+/// needed by the backward pass (Table III: outputs = 3x the input volume).
+template <typename T>
+void ScaledSoftmaxForward(const Tensor<T>& beta, char reduce_dim, float scale,
+                          const DropoutMask& mask, Tensor<T>& alpha,
+                          Tensor<T>& mask_out, Tensor<T>& softmax_saved);
+
+/// Causal (autoregressive) variant of the SM kernel: entries with
+/// key position > query position are masked out before the softmax --
+/// the paper's "masking step ... used during training to prevent a model
+/// from seeing the future" (Sec. II-B1), as in GPT-2/3 decoder layers.
+/// `query_dim` indexes positions along the query sequence. Backward is
+/// unchanged (ScaledSoftmaxBackwardDX): masked entries have saved
+/// softmax 0, which zeroes their gradient exactly.
+template <typename T>
+void CausalScaledSoftmaxForward(const Tensor<T>& beta, char reduce_dim,
+                                char query_dim, float scale,
+                                const DropoutMask& mask, Tensor<T>& alpha,
+                                Tensor<T>& mask_out, Tensor<T>& softmax_saved);
+
+/// dx = softmax backward: dx = y * (dy - sum(dy * y)) along `reduce_dim`.
+template <typename T>
+void SoftmaxBackwardDX(const Tensor<T>& dy, const Tensor<T>& y,
+                       char reduce_dim, Tensor<T>& dx);
+
+/// The BS kernel: backward of dropout + softmax + scale in one pass.
+template <typename T>
+void ScaledSoftmaxBackwardDX(const Tensor<T>& d_alpha, const Tensor<T>& mask,
+                             const Tensor<T>& softmax_saved, char reduce_dim,
+                             float scale, float keep_scale, Tensor<T>& d_beta);
+
+}  // namespace xflow::ops

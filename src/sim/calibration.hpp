@@ -1,0 +1,29 @@
+// Calibrated achieved-bandwidth fractions for memory-bound kernels.
+//
+// The roofline model needs, per kernel, the fraction of peak DRAM bandwidth
+// the implementation achieves. These constants are derived from the paper's
+// Table III measurements on V100 (time vs. exact bytes moved), separately
+// for our tuned fused kernels and for generic framework (PyTorch-class)
+// kernels. They encode real effects: plain streaming kernels (dropout,
+// residual) run near peak; reduction kernels (layernorm dW, bias dW) achieve
+// a small fraction; softmax pays for exp and RNG.
+#pragma once
+
+#include <string_view>
+
+#include "graph/op.hpp"
+
+namespace xflow::sim {
+
+/// Achieved-bandwidth fraction of one of our fused kernels with a good
+/// layout configuration, keyed by the paper's kernel name (AIB, SM, BRD,
+/// DRLN, BDRLN, BSB, BLNRD, BDRB, EBSB, BS, BEI, BAOB, BAIB).
+double TunedKernelBandwidthFrac(std::string_view fused_kernel_name);
+
+/// Achieved-bandwidth fraction of a generic framework kernel per op kind.
+double FrameworkBandwidthFrac(graph::OpKind kind);
+
+/// Extra non-flop work (RNG, exp) expressed as flop per byte moved.
+double FlopPerByteOverhead(graph::OpKind kind);
+
+}  // namespace xflow::sim

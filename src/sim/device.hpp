@@ -1,0 +1,25 @@
+// Analytical GPU device model (the V100 substitution -- see DESIGN.md).
+//
+// The paper measures on Nvidia V100 (Sec. III-D): 125 Tflop/s tensor-core
+// peak, 31.4 Tflop/s fp16 peak, 900 GB/s HBM2. We model kernels with a
+// roofline: time = launch + max(flop / (peak * utilization),
+//                               bytes / (bandwidth * efficiency)).
+#pragma once
+
+namespace xflow::sim {
+
+struct DeviceSpec {
+  double tensor_core_flops = 125e12;  // Tensor Core fp16 FMA peak
+  double fp16_flops = 31.4e12;        // half-precision FPU peak
+  double fp32_flops = 15.7e12;
+  double mem_bandwidth = 900e9;       // HBM2 peak, bytes/s
+  double kernel_launch_us = 3.0;      // launch + driver overhead per kernel
+  int sm_count = 80;
+  /// Effective per-SM tile edge (elements) for GEMM operand reuse; sets the
+  /// DRAM traffic of a tiled MMM (see ContractionTrafficBytes).
+  int gemm_reuse_tile = 256;
+
+  static DeviceSpec V100() { return {}; }
+};
+
+}  // namespace xflow::sim

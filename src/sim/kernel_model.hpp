@@ -1,0 +1,80 @@
+// Kernel-level performance model: contractions (tensor cores / fp16 FPUs)
+// and memory-bound kernels, plus the MUE metric (Sec. III-C).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device.hpp"
+#include "tensor/einsum.hpp"
+
+namespace xflow::sim {
+
+/// Result of modeling one kernel.
+struct KernelTiming {
+  double time_us = 0;
+  double flop = 0;          // flop actually performed
+  double bytes_moved = 0;   // DRAM traffic D
+  double bytes_minimal = 0; // I/O lower bound Q
+  double pct_peak = 0;      // achieved flop/s as % of the relevant peak
+  double mue = 0;           // memory usage efficiency, 0..100
+  bool memory_bound = false;  // MUE > pct_peak (paper's bolding rule)
+};
+
+/// Configuration knobs of a cuBLAS-style contraction call.
+struct ContractionConfig {
+  bool tensor_cores = true;
+  /// Algorithm id in [0, kNumGemmAlgorithms); -1 selects via the built-in
+  /// heuristic (which, as the paper found, is up to ~14% off the best).
+  int algorithm = -1;
+  /// Operand/output layout quality in (0, 1]; computed by the layouts
+  /// module from the chosen dimension orders.
+  double layout_factor = 1.0;
+};
+
+inline constexpr int kNumGemmAlgorithms = 8;
+
+/// Configuration of a memory-bound (fused) kernel.
+struct MemoryConfig {
+  /// Effective fraction of peak DRAM bandwidth for this configuration
+  /// (vectorization, coalescing, reduce/vector-dim interaction).
+  double bandwidth_frac = 0.8;
+  /// Extra flop-side load (e.g. RNG for dropout, exp for softmax) expressed
+  /// as flop per byte moved; creates a compute ceiling for cheap kernels.
+  double flop_per_byte_overhead = 0.0;
+  int kernel_launches = 1;
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(DeviceSpec spec) : spec_(spec) {}
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Models a (batched) MMM of the given extents. `essential_bytes` is the
+  /// I/O lower bound Q (operands + outputs, fp16).
+  KernelTiming Contraction(const GemmExtents& e,
+                           const ContractionConfig& cfg) const;
+
+  /// Tensor-core utilization for the extents (the calibrated saturation
+  /// curve; exposed for tests and for the layouts module).
+  double TensorCoreUtilization(const GemmExtents& e) const;
+
+  /// Per-algorithm efficiency in (0,1]; deterministic in (algorithm, e).
+  double AlgorithmFactor(const GemmExtents& e, int algorithm) const;
+  /// The algorithm the built-in heuristic would pick (not always the best).
+  int HeuristicAlgorithm(const GemmExtents& e) const;
+  /// Some library algorithms perform ~2x the necessary flop (Sec. VI-C);
+  /// true when `algorithm` is such a pathological one for these extents.
+  bool AlgorithmDoublesFlop(const GemmExtents& e, int algorithm) const;
+
+  /// DRAM traffic of a tiled MMM (elements re-read per reuse tile).
+  double ContractionTrafficBytes(const GemmExtents& e) const;
+
+  /// Models a memory-bound kernel moving `actual_bytes` (>= minimal).
+  KernelTiming MemoryBoundKernel(double minimal_bytes, double actual_bytes,
+                                 double flop, const MemoryConfig& cfg) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace xflow::sim

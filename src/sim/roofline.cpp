@@ -1,0 +1,54 @@
+#include "sim/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/half.hpp"
+
+namespace xflow::sim {
+
+double MachineBalance(const DeviceSpec& spec, bool tensor_cores) {
+  const double peak = tensor_cores ? spec.tensor_core_flops : spec.fp16_flops;
+  return peak / spec.mem_bandwidth;
+}
+
+double ArithmeticIntensity(const graph::OpCost& cost) {
+  const double bytes =
+      static_cast<double>(cost.input_elems + cost.output_elems) * kHalfBytes;
+  return bytes > 0 ? cost.flop / bytes : 0.0;
+}
+
+RooflineBound PredictBound(const DeviceSpec& spec, const graph::OpCost& cost,
+                           bool tensor_cores) {
+  return ArithmeticIntensity(cost) < MachineBalance(spec, tensor_cores)
+             ? RooflineBound::kMemory
+             : RooflineBound::kCompute;
+}
+
+double AttainableFlops(const DeviceSpec& spec, const graph::OpCost& cost,
+                       bool tensor_cores) {
+  const double peak = tensor_cores ? spec.tensor_core_flops : spec.fp16_flops;
+  return std::min(peak, ArithmeticIntensity(cost) * spec.mem_bandwidth);
+}
+
+double MemoryBoundRuntimeFraction(const graph::DataflowGraph& g,
+                                  const DeviceSpec& spec) {
+  double memory_time = 0, total_time = 0;
+  for (const auto& op : g.ops()) {
+    const auto cost = CostOf(g, op);
+    // Contractions use tensor cores; everything else the fp16 pipes.
+    const bool tc = op.cls() == graph::OpClass::kContraction;
+    const double peak = tc ? spec.tensor_core_flops : spec.fp16_flops;
+    const double bytes =
+        static_cast<double>(cost.input_elems + cost.output_elems) *
+        kHalfBytes;
+    const double t =
+        std::max(cost.flop / peak, bytes / spec.mem_bandwidth);
+    total_time += t;
+    if (PredictBound(spec, cost, tc) == RooflineBound::kMemory) {
+      memory_time += t;
+    }
+  }
+  return total_time > 0 ? memory_time / total_time : 0.0;
+}
+
+}  // namespace xflow::sim

@@ -1,0 +1,36 @@
+// Roofline analysis utilities: arithmetic intensity, machine balance, and
+// bound prediction -- the quantitative backbone of the paper's "training
+// has now become memory-bound" argument (Sec. I) and of the
+// IO>flop / IO~flop / IO<flop coloring in Figs. 1-2.
+#pragma once
+
+#include "graph/analysis.hpp"
+#include "sim/device.hpp"
+
+namespace xflow::sim {
+
+/// flop per byte at which compute and memory time break even.
+/// V100 fp16 FPUs: 31.4e12 / 900e9 ~ 35 flop/B; tensor cores: ~139 flop/B.
+double MachineBalance(const DeviceSpec& spec, bool tensor_cores);
+
+/// Arithmetic intensity of an operator: flop / bytes moved (fp16 elements).
+double ArithmeticIntensity(const graph::OpCost& cost);
+
+enum class RooflineBound { kMemory, kCompute };
+
+/// Which roof the operator sits under on this device.
+RooflineBound PredictBound(const DeviceSpec& spec, const graph::OpCost& cost,
+                           bool tensor_cores);
+
+/// Attainable flop/s under the roofline (min of both roofs).
+double AttainableFlops(const DeviceSpec& spec, const graph::OpCost& cost,
+                       bool tensor_cores);
+
+/// The paper's headline diagnosis, computed from a graph: the fraction of
+/// runtime a perfect roofline machine would spend in memory-bound
+/// operators (paper: "over a third (37%) of the runtime ... is spent in
+/// memory-bound operators").
+double MemoryBoundRuntimeFraction(const graph::DataflowGraph& g,
+                                  const DeviceSpec& spec);
+
+}  // namespace xflow::sim

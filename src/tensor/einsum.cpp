@@ -1,0 +1,200 @@
+#include "tensor/einsum.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "tensor/gemm.hpp"
+
+namespace xflow {
+
+namespace {
+
+bool Contains(std::string_view s, char c) {
+  return s.find(c) != std::string_view::npos;
+}
+
+/// Builds, for a group of dims, the table of memory offsets in `stride_src`
+/// over the flattened group index (row-major in group order). The group's
+/// extents come from `extent_src`; dims missing from `stride_src` contribute
+/// stride 0 (broadcast), so the table always spans the full group space.
+std::vector<std::int64_t> OffsetTable(const std::string& group,
+                                      const Shape& extent_src,
+                                      const Shape& stride_src) {
+  std::int64_t total = 1;
+  std::vector<std::int64_t> extents, strides;
+  for (char d : group) {
+    const std::int64_t e = extent_src.extent(d);
+    extents.push_back(e);
+    strides.push_back(stride_src.has(d) ? stride_src.stride(d) : 0);
+    total *= e;
+  }
+  std::vector<std::int64_t> table(static_cast<std::size_t>(total));
+  std::vector<std::int64_t> idx(group.size(), 0);
+  for (std::int64_t flat = 0; flat < total; ++flat) {
+    std::int64_t off = 0;
+    for (std::size_t d = 0; d < group.size(); ++d) off += idx[d] * strides[d];
+    table[static_cast<std::size_t>(flat)] = off;
+    for (int d = static_cast<int>(group.size()) - 1; d >= 0; --d) {
+      auto du = static_cast<std::size_t>(d);
+      if (++idx[du] < extents[du]) break;
+      idx[du] = 0;
+    }
+  }
+  return table;
+}
+
+std::int64_t GroupSize(const std::string& group, const Shape& shape) {
+  std::int64_t total = 1;
+  for (char d : group) total *= shape.has(d) ? shape.extent(d) : 1;
+  return total;
+}
+
+}  // namespace
+
+EinsumSpec EinsumSpec::Parse(std::string_view spec) {
+  const auto comma = spec.find(',');
+  const auto arrow = spec.find("->");
+  require(comma != std::string_view::npos && arrow != std::string_view::npos &&
+              comma < arrow,
+          StrFormat("malformed einsum spec '%.*s'",
+                    static_cast<int>(spec.size()), spec.data()));
+  EinsumSpec s;
+  s.a = std::string(spec.substr(0, comma));
+  s.b = std::string(spec.substr(comma + 1, arrow - comma - 1));
+  s.out = std::string(spec.substr(arrow + 2));
+
+  for (char d : s.out) {
+    const bool in_a = Contains(s.a, d), in_b = Contains(s.b, d);
+    require(in_a || in_b, "output dim must appear in an input");
+    if (in_a && in_b) {
+      s.batch_dims += d;
+    } else if (in_a) {
+      s.m_dims += d;
+    } else {
+      s.n_dims += d;
+    }
+  }
+  for (char d : s.a) {
+    if (!Contains(s.out, d)) {
+      require(Contains(s.b, d),
+              "contracted dim must appear in both inputs");
+      s.k_dims += d;
+    }
+  }
+  for (char d : s.b) {
+    require(Contains(s.out, d) || Contains(s.a, d),
+            "every dim of b must appear in a or out");
+  }
+  return s;
+}
+
+std::int64_t EinsumSpec::FlopCount(const Shape& a_shape,
+                                   const Shape& b_shape) const {
+  const auto e = ContractionExtents(*this, a_shape, b_shape);
+  return 2 * e.batch * e.m * e.n * e.k;
+}
+
+GemmExtents ContractionExtents(const EinsumSpec& spec, const Shape& a_shape,
+                               const Shape& b_shape) {
+  GemmExtents e;
+  for (char d : spec.batch_dims) {
+    e.batch *= a_shape.has(d) ? a_shape.extent(d) : b_shape.extent(d);
+  }
+  for (char d : spec.m_dims) e.m *= a_shape.extent(d);
+  for (char d : spec.n_dims) e.n *= b_shape.extent(d);
+  for (char d : spec.k_dims) e.k *= a_shape.extent(d);
+  return e;
+}
+
+template <typename T>
+void EinsumInto(const EinsumSpec& spec, const Tensor<T>& a, const Tensor<T>& b,
+                Tensor<T>& out, float alpha, float beta) {
+  // Validate extents agree across operands.
+  for (char d : spec.k_dims) {
+    require(a.extent(d) == b.extent(d), "contracted extents must match");
+  }
+  for (char d : spec.batch_dims) {
+    require(a.extent(d) == b.extent(d) && a.extent(d) == out.extent(d),
+            "batch extents must match");
+  }
+  require(out.shape().names().size() == spec.out.size(),
+          "output tensor rank must match spec");
+
+  const auto a_batch = OffsetTable(spec.batch_dims, a.shape(), a.shape());
+  const auto b_batch = OffsetTable(spec.batch_dims, a.shape(), b.shape());
+  const auto c_batch = OffsetTable(spec.batch_dims, a.shape(), out.shape());
+  const auto a_m = OffsetTable(spec.m_dims, a.shape(), a.shape());
+  const auto c_m = OffsetTable(spec.m_dims, a.shape(), out.shape());
+  const auto b_n = OffsetTable(spec.n_dims, b.shape(), b.shape());
+  const auto c_n = OffsetTable(spec.n_dims, b.shape(), out.shape());
+  const auto a_k = OffsetTable(spec.k_dims, a.shape(), a.shape());
+  const auto b_k = OffsetTable(spec.k_dims, a.shape(), b.shape());
+
+  for (std::size_t batch = 0; batch < a_batch.size(); ++batch) {
+    GemmOffsets<T, T>(a.data() + a_batch[batch], b.data() + b_batch[batch],
+                      out.data() + c_batch[batch], a_m, a_k, b_k, b_n, c_m,
+                      c_n, alpha, beta);
+  }
+}
+
+template <typename T>
+Tensor<T> Einsum(const EinsumSpec& spec, const Tensor<T>& a,
+                 const Tensor<T>& b, float alpha) {
+  std::vector<DimExt> dims;
+  for (char d : spec.out) {
+    dims.push_back({d, a.shape().has(d) ? a.extent(d) : b.extent(d)});
+  }
+  Tensor<T> out{Shape(std::move(dims))};
+  EinsumInto(spec, a, b, out, alpha, 0.0f);
+  return out;
+}
+
+template <typename T>
+TensorF EinsumRef(const EinsumSpec& spec, const Tensor<T>& a,
+                  const Tensor<T>& b, float alpha) {
+  std::vector<DimExt> dims;
+  for (char d : spec.out) {
+    dims.push_back({d, a.shape().has(d) ? a.extent(d) : b.extent(d)});
+  }
+  TensorF out{Shape(dims)};
+
+  std::vector<DimExt> k_dims;
+  for (char d : spec.k_dims) k_dims.push_back({d, a.extent(d)});
+  const Shape k_shape{k_dims};
+  const std::int64_t k_total = GroupSize(spec.k_dims, a.shape());
+
+  const auto a_out = OffsetTable(spec.out, out.shape(), a.shape());
+  const auto b_out = OffsetTable(spec.out, out.shape(), b.shape());
+  const auto a_k = OffsetTable(spec.k_dims, a.shape(), a.shape());
+  const auto b_k = OffsetTable(spec.k_dims, a.shape(), b.shape());
+
+  for (std::int64_t o = 0; o < out.size(); ++o) {
+    float acc = 0;
+    for (std::int64_t k = 0; k < k_total; ++k) {
+      acc += float(a.data()[a_out[static_cast<std::size_t>(o)] +
+                            a_k[static_cast<std::size_t>(k)]]) *
+             float(b.data()[b_out[static_cast<std::size_t>(o)] +
+                            b_k[static_cast<std::size_t>(k)]]);
+    }
+    out.data()[o] = alpha * acc;
+  }
+  return out;
+}
+
+template void EinsumInto<Half>(const EinsumSpec&, const Tensor<Half>&,
+                               const Tensor<Half>&, Tensor<Half>&, float,
+                               float);
+template void EinsumInto<float>(const EinsumSpec&, const Tensor<float>&,
+                                const Tensor<float>&, Tensor<float>&, float,
+                                float);
+template Tensor<Half> Einsum<Half>(const EinsumSpec&, const Tensor<Half>&,
+                                   const Tensor<Half>&, float);
+template Tensor<float> Einsum<float>(const EinsumSpec&, const Tensor<float>&,
+                                     const Tensor<float>&, float);
+template TensorF EinsumRef<Half>(const EinsumSpec&, const Tensor<Half>&,
+                                 const Tensor<Half>&, float);
+template TensorF EinsumRef<float>(const EinsumSpec&, const Tensor<float>&,
+                                  const Tensor<float>&, float);
+
+}  // namespace xflow

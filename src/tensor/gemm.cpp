@@ -1,0 +1,99 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace xflow {
+
+namespace {
+// Cache blocking. The packed A block (kMB x kKB floats) and B block
+// (kKB x kNB) together stay within L2; the accumulator tile row fits in L1.
+constexpr std::int64_t kMB = 64;
+constexpr std::int64_t kNB = 96;
+constexpr std::int64_t kKB = 256;
+}  // namespace
+
+template <typename TIn, typename TOut>
+void GemmOffsets(const TIn* a, const TIn* b, TOut* c,
+                 std::span<const std::int64_t> a_m,
+                 std::span<const std::int64_t> a_k,
+                 std::span<const std::int64_t> b_k,
+                 std::span<const std::int64_t> b_n,
+                 std::span<const std::int64_t> c_m,
+                 std::span<const std::int64_t> c_n, float alpha, float beta) {
+  const auto m_total = static_cast<std::int64_t>(a_m.size());
+  const auto n_total = static_cast<std::int64_t>(b_n.size());
+  const auto k_total = static_cast<std::int64_t>(a_k.size());
+
+  std::vector<float> a_pack(static_cast<std::size_t>(kMB * kKB));
+  std::vector<float> b_pack(static_cast<std::size_t>(kKB * kNB));
+  std::vector<float> acc(static_cast<std::size_t>(kMB * kNB));
+
+  for (std::int64_t m0 = 0; m0 < m_total; m0 += kMB) {
+    const std::int64_t mb = std::min(kMB, m_total - m0);
+    for (std::int64_t n0 = 0; n0 < n_total; n0 += kNB) {
+      const std::int64_t nb = std::min(kNB, n_total - n0);
+      std::fill(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(mb * nb),
+                0.0f);
+
+      for (std::int64_t k0 = 0; k0 < k_total; k0 += kKB) {
+        const std::int64_t kb = std::min(kKB, k_total - k0);
+        // Pack A block as [mb][kb] and B block as [kb][nb], converting to
+        // fp32 once so the inner loop is pure fp32 FMA.
+        for (std::int64_t m = 0; m < mb; ++m) {
+          const std::int64_t am = a_m[static_cast<std::size_t>(m0 + m)];
+          float* dst = &a_pack[static_cast<std::size_t>(m * kb)];
+          for (std::int64_t k = 0; k < kb; ++k) {
+            dst[k] = float(a[am + a_k[static_cast<std::size_t>(k0 + k)]]);
+          }
+        }
+        for (std::int64_t k = 0; k < kb; ++k) {
+          const std::int64_t bk = b_k[static_cast<std::size_t>(k0 + k)];
+          float* dst = &b_pack[static_cast<std::size_t>(k * nb)];
+          for (std::int64_t n = 0; n < nb; ++n) {
+            dst[n] = float(b[bk + b_n[static_cast<std::size_t>(n0 + n)]]);
+          }
+        }
+        for (std::int64_t m = 0; m < mb; ++m) {
+          const float* ap = &a_pack[static_cast<std::size_t>(m * kb)];
+          float* accrow = &acc[static_cast<std::size_t>(m * nb)];
+          for (std::int64_t k = 0; k < kb; ++k) {
+            const float av = ap[k];
+            const float* bp = &b_pack[static_cast<std::size_t>(k * nb)];
+            for (std::int64_t n = 0; n < nb; ++n) {
+              accrow[n] += av * bp[n];
+            }
+          }
+        }
+      }
+
+      for (std::int64_t m = 0; m < mb; ++m) {
+        const std::int64_t cm = c_m[static_cast<std::size_t>(m0 + m)];
+        const float* accrow = &acc[static_cast<std::size_t>(m * nb)];
+        for (std::int64_t n = 0; n < nb; ++n) {
+          TOut& dst = c[cm + c_n[static_cast<std::size_t>(n0 + n)]];
+          const float prior = beta == 0.0f ? 0.0f : beta * float(dst);
+          dst = TOut(alpha * accrow[n] + prior);
+        }
+      }
+    }
+  }
+}
+
+template void GemmOffsets<Half, Half>(
+    const Half*, const Half*, Half*, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, float, float);
+template void GemmOffsets<float, float>(
+    const float*, const float*, float*, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, float, float);
+template void GemmOffsets<Half, float>(
+    const Half*, const Half*, float*, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, float, float);
+
+}  // namespace xflow

@@ -1,0 +1,46 @@
+// Blocked CPU GEMM with arbitrary per-dimension strides.
+//
+// This is the compute substrate standing in for cuBLAS: inputs may be fp16
+// (Half) or fp32, and accumulation is always fp32, matching the paper's
+// mixed-precision setup. Arbitrary layouts are supported through offset
+// tables: the caller provides, for each of M/N/K, the memory offset of every
+// index along that axis, which uniformly encodes any transposition or
+// multi-dimensional flattening.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/half.hpp"
+
+namespace xflow {
+
+/// C[c_m[m] + c_n[n]] = alpha * sum_k A[a_m[m] + a_k[k]] * B[b_k[k] + b_n[n]]
+///                      + beta * C[...]
+/// M, N, K are the table sizes. Accumulation is fp32.
+template <typename TIn, typename TOut>
+void GemmOffsets(const TIn* a, const TIn* b, TOut* c,
+                 std::span<const std::int64_t> a_m,
+                 std::span<const std::int64_t> a_k,
+                 std::span<const std::int64_t> b_k,
+                 std::span<const std::int64_t> b_n,
+                 std::span<const std::int64_t> c_m,
+                 std::span<const std::int64_t> c_n, float alpha, float beta);
+
+extern template void GemmOffsets<Half, Half>(
+    const Half*, const Half*, Half*, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, float, float);
+extern template void GemmOffsets<float, float>(
+    const float*, const float*, float*, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, float, float);
+extern template void GemmOffsets<Half, float>(
+    const Half*, const Half*, float*, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, std::span<const std::int64_t>,
+    std::span<const std::int64_t>, float, float);
+
+}  // namespace xflow

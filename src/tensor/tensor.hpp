@@ -1,0 +1,222 @@
+// Strided, named-dimension tensors with fp16/fp32 element types.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace xflow {
+
+/// A dense tensor whose memory order equals its shape's dimension order
+/// (row-major over that order). Changing the layout = Permuted() copy.
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.num_elements())) {}
+  Tensor(std::string_view names, std::initializer_list<std::int64_t> extents)
+      : Tensor(Shape(names, extents)) {}
+
+  /// Uniform values in [-1, 1), deterministic in (seed).
+  static Tensor Random(Shape shape, std::uint64_t seed) {
+    Tensor t(std::move(shape));
+    Philox4x32 gen(seed);
+    for (std::size_t i = 0; i < t.data_.size(); ++i) {
+      t.data_[i] = T(gen.UniformAt(i) * 2.0f - 1.0f);
+    }
+    return t;
+  }
+
+  static Tensor Full(Shape shape, float value) {
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) v = T(value);
+    return t;
+  }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::string dim_order() const { return shape_.names(); }
+  [[nodiscard]] std::int64_t extent(char d) const { return shape_.extent(d); }
+  [[nodiscard]] std::int64_t stride(char d) const { return shape_.stride(d); }
+  [[nodiscard]] std::int64_t size() const { return shape_.num_elements(); }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::span<T> values() { return data_; }
+  [[nodiscard]] std::span<const T> values() const { return data_; }
+
+  /// Linear offset of a (dim, index) assignment. Dims not present are ignored
+  /// so callers can pass a superset (handy for broadcast-style kernels).
+  [[nodiscard]] std::int64_t OffsetOf(
+      std::span<const std::pair<char, std::int64_t>> coords) const {
+    std::int64_t off = 0;
+    for (const auto& [d, i] : coords) {
+      if (shape_.has(d)) off += i * shape_.stride(d);
+    }
+    return off;
+  }
+
+  /// Element access by named coordinates (test/reference path; slow).
+  [[nodiscard]] T& at(
+      std::initializer_list<std::pair<char, std::int64_t>> coords) {
+    return data_[static_cast<std::size_t>(
+        OffsetOf({coords.begin(), coords.size()}))];
+  }
+  [[nodiscard]] const T& at(
+      std::initializer_list<std::pair<char, std::int64_t>> coords) const {
+    return data_[static_cast<std::size_t>(
+        OffsetOf({coords.begin(), coords.size()}))];
+  }
+
+  /// Copy with dimensions rearranged to `new_order` (a layout change).
+  [[nodiscard]] Tensor Permuted(std::string_view new_order) const {
+    Tensor out(shape_.Permuted(new_order));
+    const auto& dims = shape_.dims();
+    std::vector<std::int64_t> out_strides(dims.size());
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      out_strides[d] = out.shape_.stride(dims[d].name);
+    }
+    const auto in_strides = shape_.strides();
+    ForEachIndex(shape_, [&](std::span<const std::int64_t> idx) {
+      std::int64_t in_off = 0, out_off = 0;
+      for (std::size_t d = 0; d < idx.size(); ++d) {
+        in_off += idx[d] * in_strides[d];
+        out_off += idx[d] * out_strides[d];
+      }
+      out.data_[static_cast<std::size_t>(out_off)] =
+          data_[static_cast<std::size_t>(in_off)];
+    });
+    return out;
+  }
+
+  /// Same data, one dimension renamed (no copy of element order; the
+  /// memory layout is untouched). Used where the paper reuses a tensor
+  /// under another index name, e.g. keys indexed by k instead of j.
+  [[nodiscard]] Tensor RenamedDim(char from, char to) const {
+    std::vector<DimExt> dims;
+    for (const auto& de : shape_.dims()) {
+      dims.push_back({de.name == from ? to : de.name, de.extent});
+    }
+    Tensor out = *this;
+    out.shape_ = Shape(std::move(dims));
+    return out;
+  }
+
+  /// Copy of the sub-tensor where dim `d` is restricted to
+  /// [start, start+count). Used e.g. to split stacked Q/K/V weights.
+  [[nodiscard]] Tensor SliceDim(char d, std::int64_t start,
+                                std::int64_t count) const {
+    require(start >= 0 && count > 0 && start + count <= extent(d),
+            "slice out of range");
+    std::vector<DimExt> dims;
+    for (const auto& de : shape_.dims()) {
+      dims.push_back({de.name, de.name == d ? count : de.extent});
+    }
+    Tensor out{Shape(std::move(dims))};
+    const auto& dst_dims = out.shape_.dims();
+    std::vector<std::int64_t> src_strides(dst_dims.size());
+    for (std::size_t k = 0; k < dst_dims.size(); ++k) {
+      src_strides[k] = shape_.stride(dst_dims[k].name);
+    }
+    const std::int64_t base = start * shape_.stride(d);
+    const auto dst_strides = out.shape_.strides();
+    ForEachIndex(out.shape_, [&](std::span<const std::int64_t> idx) {
+      std::int64_t src = base, dst = 0;
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        src += idx[k] * src_strides[k];
+        dst += idx[k] * dst_strides[k];
+      }
+      out.data_[static_cast<std::size_t>(dst)] =
+          data_[static_cast<std::size_t>(src)];
+    });
+    return out;
+  }
+
+  /// Element-type conversion (e.g. fp16 master copy of fp32 weights).
+  template <typename U>
+  [[nodiscard]] Tensor<U> Cast() const {
+    Tensor<U> out(shape_);
+    for (std::int64_t i = 0; i < size(); ++i) {
+      out.data()[i] = U(float(data_[static_cast<std::size_t>(i)]));
+    }
+    return out;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+/// Concatenation of tensors along dim `d` (all other extents must match).
+/// Models the paper's algebraic stacking, e.g. [dQ~ dK~ dV~].
+template <typename T>
+Tensor<T> ConcatDim(std::initializer_list<const Tensor<T>*> parts, char d) {
+  require(parts.size() > 0, "nothing to concatenate");
+  const Tensor<T>& first = **parts.begin();
+  std::int64_t total = 0;
+  for (const Tensor<T>* p : parts) total += p->extent(d);
+  std::vector<DimExt> dims;
+  for (const auto& de : first.shape().dims()) {
+    dims.push_back({de.name, de.name == d ? total : de.extent});
+  }
+  Tensor<T> out{Shape(std::move(dims))};
+  std::int64_t offset = 0;
+  for (const Tensor<T>* part : parts) {
+    const auto& shape = part->shape();
+    const auto src_strides = shape.strides();
+    std::vector<std::int64_t> dst_strides(shape.dims().size());
+    for (std::size_t k = 0; k < shape.dims().size(); ++k) {
+      dst_strides[k] = out.shape().stride(shape.dims()[k].name);
+    }
+    const std::int64_t base = offset * out.shape().stride(d);
+    ForEachIndex(shape, [&](std::span<const std::int64_t> idx) {
+      std::int64_t src = 0, dst = base;
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        src += idx[k] * src_strides[k];
+        dst += idx[k] * dst_strides[k];
+      }
+      out.data()[dst] = part->data()[src];
+    });
+    offset += part->extent(d);
+  }
+  return out;
+}
+
+/// Largest absolute elementwise difference; tensors may differ in layout but
+/// must have the same dimensions.
+template <typename A, typename B>
+double MaxAbsDiff(const Tensor<A>& a, const Tensor<B>& b) {
+  require(a.size() == b.size(), "tensor sizes must match");
+  const auto names = a.shape().names();
+  double worst = 0;
+  const auto a_strides = a.shape().strides();
+  std::vector<std::int64_t> b_strides(names.size());
+  for (std::size_t d = 0; d < names.size(); ++d) {
+    b_strides[d] = b.shape().stride(names[d]);
+  }
+  ForEachIndex(a.shape(), [&](std::span<const std::int64_t> idx) {
+    std::int64_t ao = 0, bo = 0;
+    for (std::size_t d = 0; d < idx.size(); ++d) {
+      ao += idx[d] * a_strides[d];
+      bo += idx[d] * b_strides[d];
+    }
+    const double diff = std::fabs(double(float(a.data()[ao])) -
+                                  double(float(b.data()[bo])));
+    worst = std::max(worst, diff);
+  });
+  return worst;
+}
+
+using TensorF = Tensor<float>;
+using TensorH = Tensor<Half>;
+
+}  // namespace xflow

@@ -1,0 +1,29 @@
+// Binary checkpointing of named fp16 tensors (parameters, optimizer
+// state). Self-describing format with shape validation on load.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace xflow::transformer {
+
+/// Writes all tensors to `path`. Format: magic "XFLW", version, count,
+/// then per tensor: name, dim names + extents, raw fp16 payload.
+void SaveCheckpoint(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const TensorH*>>& tensors);
+
+/// Loads into pre-shaped tensors; names and shapes must match what was
+/// saved (order-insensitive). Throws InvalidArgument on any mismatch.
+void LoadCheckpoint(
+    const std::string& path,
+    const std::vector<std::pair<std::string, TensorH*>>& tensors);
+
+/// Names + shapes present in a checkpoint (for inspection/tools).
+std::vector<std::pair<std::string, Shape>> InspectCheckpoint(
+    const std::string& path);
+
+}  // namespace xflow::transformer

@@ -1,0 +1,128 @@
+#include "transformer/embedding.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/einsum.hpp"
+
+namespace xflow::transformer {
+
+template <typename T>
+EmbeddingT<T>::EmbeddingT(std::int64_t vocab, const graph::ModelDims& dims,
+                          std::uint64_t seed)
+    : dims_(dims),
+      token_table_(Tensor<T>::Random(Shape("vi", {vocab, dims.i}), seed)),
+      pos_table_(Tensor<T>::Random(Shape("ji", {dims.j, dims.i}), seed + 1)) {
+  // Scale to unit-ish variance after the sum of two tables.
+  for (auto* t : {&token_table_, &pos_table_}) {
+    for (std::int64_t e = 0; e < t->size(); ++e) {
+      t->data()[e] = T(float(t->data()[e]) * 0.5f);
+    }
+  }
+}
+
+template <typename T>
+Tensor<T> EmbeddingT<T>::Forward(const TokenIds& tokens) const {
+  require(static_cast<std::int64_t>(tokens.size()) == dims_.b * dims_.j,
+          "token count must equal batch * sequence length");
+  Tensor<T> x(Shape("ibj", {dims_.i, dims_.b, dims_.j}));
+  for (std::int64_t b = 0; b < dims_.b; ++b) {
+    for (std::int64_t j = 0; j < dims_.j; ++j) {
+      const auto id =
+          tokens[static_cast<std::size_t>(b * dims_.j + j)];
+      require(id >= 0 && id < vocab(), "token id out of range");
+      for (std::int64_t i = 0; i < dims_.i; ++i) {
+        const float tok =
+            float(token_table_.at({{'v', id}, {'i', i}}));
+        const float pos = float(pos_table_.at({{'j', j}, {'i', i}}));
+        x.at({{'i', i}, {'b', b}, {'j', j}}) = T(tok + pos);
+      }
+    }
+  }
+  return x;
+}
+
+template <typename T>
+void EmbeddingT<T>::Backward(const Tensor<T>& d_x, const TokenIds& tokens,
+                             Tensor<T>& d_token_table,
+                             Tensor<T>& d_pos_table) const {
+  std::vector<float> acc_tok(
+      static_cast<std::size_t>(token_table_.size()), 0.0f);
+  std::vector<float> acc_pos(static_cast<std::size_t>(pos_table_.size()),
+                             0.0f);
+  for (std::int64_t b = 0; b < dims_.b; ++b) {
+    for (std::int64_t j = 0; j < dims_.j; ++j) {
+      const auto id = tokens[static_cast<std::size_t>(b * dims_.j + j)];
+      for (std::int64_t i = 0; i < dims_.i; ++i) {
+        const float g = float(d_x.at({{'i', i}, {'b', b}, {'j', j}}));
+        acc_tok[static_cast<std::size_t>(
+            d_token_table.OffsetOf(std::array{std::pair{'v', std::int64_t(id)},
+                                              std::pair{'i', i}}))] += g;
+        acc_pos[static_cast<std::size_t>(d_pos_table.OffsetOf(
+            std::array{std::pair{'j', j}, std::pair{'i', i}}))] += g;
+      }
+    }
+  }
+  for (std::int64_t e = 0; e < d_token_table.size(); ++e) {
+    d_token_table.data()[e] = T(acc_tok[static_cast<std::size_t>(e)]);
+  }
+  for (std::int64_t e = 0; e < d_pos_table.size(); ++e) {
+    d_pos_table.data()[e] = T(acc_pos[static_cast<std::size_t>(e)]);
+  }
+}
+
+template <typename T>
+Tensor<T> LmLogits(const Tensor<T>& token_table, const Tensor<T>& x) {
+  return Einsum<T>("vi,ibj->vbj", token_table, x);
+}
+
+double SoftmaxCrossEntropy(const TensorF& logits, const TokenIds& targets,
+                           TensorF& d_logits) {
+  const std::int64_t v = logits.extent('v');
+  const std::int64_t b = logits.extent('b');
+  const std::int64_t j = logits.extent('j');
+  require(static_cast<std::int64_t>(targets.size()) == b * j,
+          "target count must equal batch * sequence length");
+  const double inv_n = 1.0 / static_cast<double>(b * j);
+  double loss = 0;
+  for (std::int64_t bb = 0; bb < b; ++bb) {
+    for (std::int64_t jj = 0; jj < j; ++jj) {
+      const auto target =
+          targets[static_cast<std::size_t>(bb * j + jj)];
+      require(target >= 0 && target < v, "target id out of range");
+      float max_v = -1e30f;
+      for (std::int64_t vv = 0; vv < v; ++vv) {
+        max_v = std::max(max_v,
+                         logits.at({{'v', vv}, {'b', bb}, {'j', jj}}));
+      }
+      double sum = 0;
+      for (std::int64_t vv = 0; vv < v; ++vv) {
+        sum += std::exp(
+            static_cast<double>(
+                logits.at({{'v', vv}, {'b', bb}, {'j', jj}})) -
+            max_v);
+      }
+      const double log_sum = std::log(sum) + max_v;
+      loss += log_sum - static_cast<double>(logits.at(
+                            {{'v', target}, {'b', bb}, {'j', jj}}));
+      for (std::int64_t vv = 0; vv < v; ++vv) {
+        const double p =
+            std::exp(static_cast<double>(logits.at(
+                         {{'v', vv}, {'b', bb}, {'j', jj}})) -
+                     log_sum);
+        d_logits.at({{'v', vv}, {'b', bb}, {'j', jj}}) =
+            static_cast<float>((p - (vv == target ? 1.0 : 0.0)) * inv_n);
+      }
+    }
+  }
+  return loss * inv_n;
+}
+
+template class EmbeddingT<Half>;
+template class EmbeddingT<float>;
+template Tensor<Half> LmLogits<Half>(const Tensor<Half>&,
+                                     const Tensor<Half>&);
+template Tensor<float> LmLogits<float>(const Tensor<float>&,
+                                       const Tensor<float>&);
+
+}  // namespace xflow::transformer

@@ -1,0 +1,61 @@
+// Input embeddings and language-model head -- the layers around the
+// encoder stack that the paper mentions but does not profile (Sec. II-B2:
+// "embedding layers for input sequences and various output layers").
+// They complete the training pipeline for the end-to-end examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "tensor/tensor.hpp"
+
+namespace xflow::transformer {
+
+using TokenIds = std::vector<std::int32_t>;  // row-major [b][j]
+
+/// Token + learned positional embeddings: x[i,b,j] =
+/// token_table[tokens[b,j], i] + pos_table[j, i].
+template <typename T>
+class EmbeddingT {
+ public:
+  EmbeddingT(std::int64_t vocab, const graph::ModelDims& dims,
+             std::uint64_t seed);
+
+  /// tokens.size() must equal b*j; ids in [0, vocab).
+  Tensor<T> Forward(const TokenIds& tokens) const;
+
+  /// Scatter-add gradients for both tables (fp32 accumulation).
+  void Backward(const Tensor<T>& d_x, const TokenIds& tokens,
+                Tensor<T>& d_token_table, Tensor<T>& d_pos_table) const;
+
+  [[nodiscard]] Tensor<T>& token_table() { return token_table_; }
+  [[nodiscard]] Tensor<T>& pos_table() { return pos_table_; }
+  [[nodiscard]] std::int64_t vocab() const {
+    return token_table_.extent('v');
+  }
+
+ private:
+  graph::ModelDims dims_;
+  Tensor<T> token_table_;  // [v, i]
+  Tensor<T> pos_table_;    // [j, i]
+};
+
+/// Tied language-model head: logits[v,b,j] = token_table[v,:] . x[:,b,j].
+template <typename T>
+Tensor<T> LmLogits(const Tensor<T>& token_table, const Tensor<T>& x);
+
+/// Softmax cross-entropy over the vocabulary dim 'v'; fills d_logits
+/// (softmax - onehot) / (b*j) and returns mean loss.
+double SoftmaxCrossEntropy(const TensorF& logits, const TokenIds& targets,
+                           TensorF& d_logits);
+
+using Embedding = EmbeddingT<Half>;
+extern template class EmbeddingT<Half>;
+extern template class EmbeddingT<float>;
+extern template Tensor<Half> LmLogits<Half>(const Tensor<Half>&,
+                                            const Tensor<Half>&);
+extern template Tensor<float> LmLogits<float>(const Tensor<float>&,
+                                              const Tensor<float>&);
+
+}  // namespace xflow::transformer

@@ -1,0 +1,318 @@
+#include "transformer/encoder.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ops/elementwise.hpp"
+#include "ops/fused.hpp"
+#include "ops/layernorm.hpp"
+#include "ops/softmax.hpp"
+#include "tensor/einsum.hpp"
+
+namespace xflow::transformer {
+
+namespace {
+
+/// Dropout sites get decorrelated Philox streams derived from the layer
+/// seed. Identical across fused/unfused execution by construction.
+enum DropoutSite : std::uint64_t {
+  kAttnSoftmax = 0,
+  kAttnOutput = 1,
+  kFeedForward = 2,
+  kOutput = 3,
+};
+
+std::uint64_t SiteSeed(std::uint64_t seed, DropoutSite site) {
+  std::uint64_t s = seed * 4 + site;
+  return SplitMix64(s);
+}
+
+}  // namespace
+
+template <typename T>
+EncoderParamsT<T> EncoderParamsT<T>::Init(const graph::ModelDims& d,
+                                          std::uint64_t seed) {
+  const auto i = d.i;
+  const auto p3 = 3 * d.p;
+  auto scaled = [&](Shape shape, std::int64_t fan_in,
+                    std::uint64_t s) -> Tensor<T> {
+    auto t = Tensor<T>::Random(std::move(shape), s);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(fan_in));
+    for (std::int64_t e = 0; e < t.size(); ++e) {
+      t.data()[e] = T(float(t.data()[e]) * scale);
+    }
+    return t;
+  };
+  EncoderParamsT<T> params;
+  params.w_qkv = scaled(Shape("phi", {p3, d.h, i}), i, seed + 1);
+  params.b_qkv = scaled(Shape("ph", {p3, d.h}), i, seed + 2);
+  params.w_out = scaled(Shape("whi", {d.p, d.h, i}), d.p * d.h, seed + 3);
+  params.b_out = scaled(Shape("i", {i}), i, seed + 4);
+  params.ln1_w = Tensor<T>::Full(Shape("i", {i}), 1.0f);
+  params.ln1_b = Tensor<T>::Full(Shape("i", {i}), 0.0f);
+  params.w1 = scaled(Shape("ui", {d.u, i}), i, seed + 5);
+  params.b1 = scaled(Shape("u", {d.u}), i, seed + 6);
+  params.w2 = scaled(Shape("iu", {i, d.u}), d.u, seed + 7);
+  params.b2 = scaled(Shape("i", {i}), d.u, seed + 8);
+  params.ln2_w = Tensor<T>::Full(Shape("i", {i}), 1.0f);
+  params.ln2_b = Tensor<T>::Full(Shape("i", {i}), 0.0f);
+  return params;
+}
+
+template <typename T>
+std::vector<std::pair<std::string, Tensor<T>*>> EncoderParamsT<T>::Named() {
+  return {{"w_qkv", &w_qkv}, {"b_qkv", &b_qkv}, {"w_out", &w_out},
+          {"b_out", &b_out}, {"ln1_w", &ln1_w}, {"ln1_b", &ln1_b},
+          {"w1", &w1},       {"b1", &b1},       {"w2", &w2},
+          {"b2", &b2},       {"ln2_w", &ln2_w}, {"ln2_b", &ln2_b}};
+}
+
+template <typename T>
+EncoderLayerT<T>::EncoderLayerT(EncoderConfig config, EncoderParamsT<T> params)
+    : config_(std::move(config)), params_(std::move(params)) {}
+
+template <typename T>
+const Tensor<T>& EncoderLayerT<T>::Forward(const Tensor<T>& x,
+                                           EncoderActivationsT<T>& acts) const {
+  const auto& d = config_.dims;
+  const float attn_scale = 1.0f / std::sqrt(static_cast<float>(d.p));
+  const DropoutMask attn_sm_mask(SiteSeed(config_.seed, kAttnSoftmax),
+                                 config_.dropout_prob);
+  const DropoutMask attn_out_mask(SiteSeed(config_.seed, kAttnOutput),
+                                  config_.dropout_prob);
+  const DropoutMask ff_mask(SiteSeed(config_.seed, kFeedForward),
+                            config_.dropout_prob);
+  const DropoutMask out_mask(SiteSeed(config_.seed, kOutput),
+                             config_.dropout_prob);
+  const Shape ibj("ibj", {d.i, d.b, d.j});
+  const Shape ubj("ubj", {d.u, d.b, d.j});
+  const Shape hbjk("hbjk", {d.h, d.b, d.j, d.k});
+  const Shape bj("bj", {d.b, d.j});
+
+  acts.x = x;
+
+  // Q,K,V: one stacked GEMM (algebraic fusion, Sec. IV-D), then split.
+  auto proj = Einsum<T>("phi,ibj->phbj", params_.w_qkv, x);
+  auto qq = proj.SliceDim('p', 0, d.p);
+  auto kk = proj.SliceDim('p', d.p, d.p);
+  auto vv = proj.SliceDim('p', 2 * d.p, d.p);
+
+  // AIB.
+  acts.qq_b = Tensor<T>(qq.shape());
+  Tensor<T> kk_b(kk.shape()), vv_b(vv.shape());
+  if (config_.use_fused_kernels) {
+    ops::AttnInputBias<T>({&qq, &kk, &vv}, params_.b_qkv, 'p',
+                          {&acts.qq_b, &kk_b, &vv_b});
+  } else {
+    ops::BiasForward(qq, params_.b_qkv.SliceDim('p', 0, d.p), acts.qq_b);
+    ops::BiasForward(kk, params_.b_qkv.SliceDim('p', d.p, d.p), kk_b);
+    ops::BiasForward(vv, params_.b_qkv.SliceDim('p', 2 * d.p, d.p), vv_b);
+  }
+  acts.kk_b = kk_b.RenamedDim('j', 'k');
+  acts.vv_b = vv_b.RenamedDim('j', 'k').RenamedDim('p', 'w');
+
+  // QKT (the softmax scaling lives in the SM kernel).
+  auto beta = Einsum<T>("phbk,phbj->hbjk", acts.kk_b, acts.qq_b);
+
+  // SM: scale + softmax + attention dropout.
+  acts.alpha = Tensor<T>(hbjk);
+  acts.attn_mask = Tensor<T>(hbjk);
+  acts.softmax_saved = Tensor<T>(hbjk);
+  if (config_.causal) {
+    ops::CausalScaledSoftmaxForward(beta, 'k', 'j', attn_scale, attn_sm_mask,
+                                    acts.alpha, acts.attn_mask,
+                                    acts.softmax_saved);
+  } else {
+    ops::ScaledSoftmaxForward(beta, 'k', attn_scale, attn_sm_mask,
+                              acts.alpha, acts.attn_mask,
+                              acts.softmax_saved);
+  }
+
+  // gamma and the output projection.
+  acts.gamma_t = Einsum<T>("whbk,hbjk->whbj", acts.vv_b, acts.alpha);
+  auto attn_out = Einsum<T>("whi,whbj->ibj", params_.w_out, acts.gamma_t);
+
+  // DRLN: output bias + dropout + residual + layernorm 1.
+  acts.resid1 = Tensor<T>(ibj);
+  acts.attn_drop_mask = Tensor<T>(ibj);
+  acts.ln1_out = Tensor<T>(ibj);
+  acts.ln1_mean = TensorF(bj);
+  acts.ln1_rstd = TensorF(bj);
+  if (config_.use_fused_kernels) {
+    ops::BiasDropoutResidualLayerNorm(
+        attn_out, params_.b_out, x, attn_out_mask, params_.ln1_w,
+        params_.ln1_b, 'i', config_.ln_eps, acts.resid1, acts.attn_drop_mask,
+        acts.ln1_out, acts.ln1_mean, acts.ln1_rstd);
+  } else {
+    Tensor<T> biased(ibj), dropped(ibj);
+    ops::BiasForward(attn_out, params_.b_out, biased);
+    ops::DropoutForward(biased, attn_out_mask, dropped, acts.attn_drop_mask);
+    ops::ResidualForward(dropped, x, acts.resid1);
+    ops::LayerNormForward(acts.resid1, params_.ln1_w, params_.ln1_b, 'i',
+                          config_.ln_eps, acts.ln1_out, acts.ln1_mean,
+                          acts.ln1_rstd);
+  }
+
+  // Feed-forward: linear 1, BRD, linear 2, BDRLN.
+  auto lin1 = Einsum<T>("ui,ibj->ubj", params_.w1, acts.ln1_out);
+  acts.relu1 = Tensor<T>(ubj);
+  acts.ff_dropped = Tensor<T>(ubj);
+  acts.ff_drop_mask = Tensor<T>(ubj);
+  if (config_.use_fused_kernels) {
+    ops::BiasReluDropout(lin1, params_.b1, ff_mask, acts.relu1,
+                         acts.ff_dropped, acts.ff_drop_mask);
+  } else {
+    Tensor<T> biased(ubj);
+    ops::BiasForward(lin1, params_.b1, biased);
+    ops::ReluForward(biased, acts.relu1);
+    ops::DropoutForward(acts.relu1, ff_mask, acts.ff_dropped,
+                        acts.ff_drop_mask);
+  }
+
+  auto lin2 = Einsum<T>("iu,ubj->ibj", params_.w2, acts.ff_dropped);
+  acts.resid2 = Tensor<T>(ibj);
+  acts.lin2_drop_mask = Tensor<T>(ibj);
+  acts.y = Tensor<T>(ibj);
+  acts.ln2_mean = TensorF(bj);
+  acts.ln2_rstd = TensorF(bj);
+  if (config_.use_fused_kernels) {
+    ops::BiasDropoutResidualLayerNorm(
+        lin2, params_.b2, acts.ln1_out, out_mask, params_.ln2_w,
+        params_.ln2_b, 'i', config_.ln_eps, acts.resid2, acts.lin2_drop_mask,
+        acts.y, acts.ln2_mean, acts.ln2_rstd);
+  } else {
+    Tensor<T> biased(ibj), dropped(ibj);
+    ops::BiasForward(lin2, params_.b2, biased);
+    ops::DropoutForward(biased, out_mask, dropped, acts.lin2_drop_mask);
+    ops::ResidualForward(dropped, acts.ln1_out, acts.resid2);
+    ops::LayerNormForward(acts.resid2, params_.ln2_w, params_.ln2_b, 'i',
+                          config_.ln_eps, acts.y, acts.ln2_mean,
+                          acts.ln2_rstd);
+  }
+  return acts.y;
+}
+
+template <typename T>
+void EncoderLayerT<T>::Backward(const Tensor<T>& d_y,
+                                const EncoderActivationsT<T>& acts,
+                                EncoderGradientsT<T>& grads) const {
+  const auto& d = config_.dims;
+  const float attn_scale = 1.0f / std::sqrt(static_cast<float>(d.p));
+  const float keep = 1.0f - config_.dropout_prob;
+  const float keep_scale = keep > 0 ? 1.0f / keep : 0.0f;
+  const Shape ibj("ibj", {d.i, d.b, d.j});
+  const Shape ubj("ubj", {d.u, d.b, d.j});
+  const Shape hbjk("hbjk", {d.h, d.b, d.j, d.k});
+  auto& gp = grads.params;
+  gp = EncoderParamsT<T>::Init(d, 0);  // allocate shapes; overwritten below
+
+  // BSB: layernorm 2 dW.
+  ops::LayerNormBackwardDW(d_y, acts.resid2, acts.ln2_mean, acts.ln2_rstd,
+                           'i', gp.ln2_w, gp.ln2_b);
+
+  // BLNRD: layernorm 2 dX + output dropout dX (keeps d_resid2 for EBSB).
+  Tensor<T> d_resid2(ibj), d_lin2_biased(ibj);
+  if (config_.use_fused_kernels) {
+    ops::LayerNormDropoutBackward(d_y, params_.ln2_w, acts.resid2,
+                                  acts.ln2_mean, acts.ln2_rstd,
+                                  acts.lin2_drop_mask, 'i', keep_scale,
+                                  d_resid2, d_lin2_biased);
+  } else {
+    ops::LayerNormBackwardDX(d_y, params_.ln2_w, acts.resid2, acts.ln2_mean,
+                             acts.ln2_rstd, 'i', d_resid2);
+    ops::DropoutBackwardDX(d_resid2, acts.lin2_drop_mask, keep_scale,
+                           d_lin2_biased);
+  }
+
+  // Linear 2 dX / dW.
+  auto d_ff_dropped = Einsum<T>("iu,ibj->ubj", params_.w2, d_lin2_biased);
+  gp.w2 = Einsum<T>("ibj,ubj->iu", d_lin2_biased, acts.ff_dropped);
+
+  // BDRB: bias2 dW + ff dropout dX + relu dX + bias1 dW.
+  Tensor<T> d_lin1_biased(ubj);
+  if (config_.use_fused_kernels) {
+    ops::BiasDropoutReluBiasBackward(d_lin2_biased, d_ff_dropped,
+                                     acts.ff_drop_mask, acts.relu1,
+                                     keep_scale, gp.b2, d_lin1_biased, gp.b1);
+  } else {
+    ops::BiasBackwardDW(d_lin2_biased, gp.b2);
+    Tensor<T> d_relu(ubj);
+    ops::DropoutBackwardDX(d_ff_dropped, acts.ff_drop_mask, keep_scale,
+                           d_relu);
+    ops::ReluBackwardDX(d_relu, acts.relu1, d_lin1_biased);
+    ops::BiasBackwardDW(d_lin1_biased, gp.b1);
+  }
+
+  // Linear 1 dX / dW.
+  auto d_ln1_ff = Einsum<T>("ui,ubj->ibj", params_.w1, d_lin1_biased);
+  gp.w1 = Einsum<T>("ubj,ibj->ui", d_lin1_biased, acts.ln1_out);
+
+  // EBSB: residual merge + layernorm 1 dW.
+  Tensor<T> d_ln1_out(ibj);
+  if (config_.use_fused_kernels) {
+    ops::ResidualLayerNormDwBackward(d_ln1_ff, d_resid2, acts.resid1,
+                                     acts.ln1_mean, acts.ln1_rstd, 'i',
+                                     d_ln1_out, gp.ln1_w, gp.ln1_b);
+  } else {
+    ops::ResidualForward(d_ln1_ff, d_resid2, d_ln1_out);
+    ops::LayerNormBackwardDW(d_ln1_out, acts.resid1, acts.ln1_mean,
+                             acts.ln1_rstd, 'i', gp.ln1_w, gp.ln1_b);
+  }
+
+  // BLNRD: layernorm 1 dX + attention dropout dX.
+  Tensor<T> d_resid1(ibj), d_attn_biased(ibj);
+  if (config_.use_fused_kernels) {
+    ops::LayerNormDropoutBackward(d_ln1_out, params_.ln1_w, acts.resid1,
+                                  acts.ln1_mean, acts.ln1_rstd,
+                                  acts.attn_drop_mask, 'i', keep_scale,
+                                  d_resid1, d_attn_biased);
+  } else {
+    ops::LayerNormBackwardDX(d_ln1_out, params_.ln1_w, acts.resid1,
+                             acts.ln1_mean, acts.ln1_rstd, 'i', d_resid1);
+    ops::DropoutBackwardDX(d_resid1, acts.attn_drop_mask, keep_scale,
+                           d_attn_biased);
+  }
+
+  // BAOB: output bias dW.
+  ops::BiasBackwardDW(d_attn_biased, gp.b_out);
+
+  // Attention backward contractions.
+  auto d_gamma = Einsum<T>("whi,ibj->whbj", params_.w_out, d_attn_biased);
+  gp.w_out = Einsum<T>("ibj,whbj->whi", d_attn_biased, acts.gamma_t);
+  auto d_alpha = Einsum<T>("whbk,whbj->hbjk", acts.vv_b, d_gamma);
+  auto d_vv = Einsum<T>("whbj,hbjk->whbk", d_gamma, acts.alpha);
+
+  // BS: dropout + softmax + scaling backward.
+  Tensor<T> d_beta(hbjk);
+  ops::ScaledSoftmaxBackwardDX(d_alpha, acts.attn_mask, acts.softmax_saved,
+                               'k', attn_scale, keep_scale, d_beta);
+
+  // QKT dX1 / dX2.
+  auto d_kk = Einsum<T>("phbj,hbjk->phbk", acts.qq_b, d_beta);
+  auto d_qq = Einsum<T>("hbjk,phbk->phbj", d_beta, acts.kk_b);
+
+  // Q,K,V dX / dW on the stacked gradient (algebraic fusion).
+  auto d_kk_j = d_kk.RenamedDim('k', 'j');
+  auto d_vv_j = d_vv.RenamedDim('k', 'j').RenamedDim('w', 'p');
+  auto d_proj = ConcatDim<T>({&d_qq, &d_kk_j, &d_vv_j}, 'p');
+  grads.d_x = Tensor<T>(ibj);
+  auto d_x_qkv = Einsum<T>("phi,phbj->ibj", params_.w_qkv, d_proj);
+  gp.w_qkv = Einsum<T>("phbj,ibj->phi", d_proj, acts.x);
+
+  // BAIB: stacked input-bias gradient.
+  if (config_.use_fused_kernels) {
+    ops::AttnInputBiasBackward<T>({&d_qq, &d_kk_j, &d_vv_j}, 'p', gp.b_qkv);
+  } else {
+    ops::BiasBackwardDW(d_proj, gp.b_qkv);
+  }
+
+  // BEI: encoder-input residual.
+  ops::ResidualForward(d_x_qkv, d_resid1, grads.d_x);
+}
+
+template struct EncoderParamsT<Half>;
+template struct EncoderParamsT<float>;
+template class EncoderLayerT<Half>;
+template class EncoderLayerT<float>;
+
+}  // namespace xflow::transformer

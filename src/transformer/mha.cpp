@@ -1,0 +1,140 @@
+#include "transformer/mha.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ops/elementwise.hpp"
+#include "ops/softmax.hpp"
+#include "tensor/einsum.hpp"
+
+namespace xflow::transformer {
+
+template <typename T>
+MhaParamsT<T> MhaParamsT<T>::Init(const graph::ModelDims& d,
+                                  std::uint64_t seed) {
+  auto scaled = [&](Shape shape, std::int64_t fan_in,
+                    std::uint64_t s) -> Tensor<T> {
+    auto t = Tensor<T>::Random(std::move(shape), s);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(fan_in));
+    for (std::int64_t e = 0; e < t.size(); ++e) {
+      t.data()[e] = T(float(t.data()[e]) * scale);
+    }
+    return t;
+  };
+  MhaParamsT<T> p;
+  p.wq = scaled(Shape("phi", {d.p, d.h, d.i}), d.i, seed + 1);
+  p.wk = scaled(Shape("phi", {d.p, d.h, d.i}), d.i, seed + 2);
+  p.wv = scaled(Shape("whi", {d.p, d.h, d.i}), d.i, seed + 3);
+  p.wo = scaled(Shape("whi", {d.p, d.h, d.i}), d.p * d.h, seed + 4);
+  p.bq = scaled(Shape("ph", {d.p, d.h}), d.i, seed + 5);
+  p.bk = scaled(Shape("ph", {d.p, d.h}), d.i, seed + 6);
+  p.bv = scaled(Shape("wh", {d.p, d.h}), d.i, seed + 7);
+  p.bo = scaled(Shape("i", {d.i}), d.i, seed + 8);
+  return p;
+}
+
+template <typename T>
+std::vector<std::pair<std::string, Tensor<T>*>> MhaParamsT<T>::Named() {
+  return {{"wq", &wq}, {"wk", &wk}, {"wv", &wv}, {"wo", &wo},
+          {"bq", &bq}, {"bk", &bk}, {"bv", &bv}, {"bo", &bo}};
+}
+
+template <typename T>
+MhaLayerT<T>::MhaLayerT(MhaConfig config, MhaParamsT<T> params)
+    : config_(std::move(config)), params_(std::move(params)) {}
+
+template <typename T>
+const Tensor<T>& MhaLayerT<T>::Forward(const Tensor<T>& q, const Tensor<T>& k,
+                                       const Tensor<T>& v,
+                                       MhaActivationsT<T>& acts) const {
+  const auto& d = config_.dims;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d.p));
+  std::uint64_t seed_state = config_.seed;
+  const DropoutMask sm_mask(SplitMix64(seed_state), config_.dropout_prob);
+  const Shape hbjk("hbjk", {d.h, d.b, d.j, d.k});
+
+  acts.q = q;
+  acts.k = k;
+  acts.v = v;
+
+  // Input projections with bias (Fig. 1: three separate einsums; no
+  // algebraic fusion since the inputs are distinct tensors).
+  auto qq = Einsum<T>("phi,ibj->phbj", params_.wq, q);
+  auto kk = Einsum<T>("phi,ibk->phbk", params_.wk, k);
+  auto vv = Einsum<T>("whi,ibk->whbk", params_.wv, v);
+  acts.qq_b = Tensor<T>(qq.shape());
+  acts.kk_b = Tensor<T>(kk.shape());
+  acts.vv_b = Tensor<T>(vv.shape());
+  ops::BiasForward(qq, params_.bq, acts.qq_b);
+  ops::BiasForward(kk, params_.bk, acts.kk_b);
+  ops::BiasForward(vv, params_.bv, acts.vv_b);
+
+  // Attention scores, scaled softmax (+ optional causal mask) and dropout.
+  auto beta = Einsum<T>("phbk,phbj->hbjk", acts.kk_b, acts.qq_b);
+  acts.alpha = Tensor<T>(hbjk);
+  acts.attn_mask = Tensor<T>(hbjk);
+  acts.softmax_saved = Tensor<T>(hbjk);
+  if (config_.causal) {
+    ops::CausalScaledSoftmaxForward(beta, 'k', 'j', scale, sm_mask,
+                                    acts.alpha, acts.attn_mask,
+                                    acts.softmax_saved);
+  } else {
+    ops::ScaledSoftmaxForward(beta, 'k', scale, sm_mask, acts.alpha,
+                              acts.attn_mask, acts.softmax_saved);
+  }
+
+  // Weighted values and output projection.
+  acts.gamma_t = Einsum<T>("whbk,hbjk->whbj", acts.vv_b, acts.alpha);
+  auto proj = Einsum<T>("whi,whbj->ibj", params_.wo, acts.gamma_t);
+  acts.out = Tensor<T>(proj.shape());
+  ops::BiasForward(proj, params_.bo, acts.out);
+  return acts.out;
+}
+
+template <typename T>
+void MhaLayerT<T>::Backward(const Tensor<T>& d_out,
+                            const MhaActivationsT<T>& acts,
+                            MhaGradientsT<T>& grads) const {
+  const auto& d = config_.dims;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d.p));
+  const float keep = 1.0f - config_.dropout_prob;
+  const float keep_scale = keep > 0 ? 1.0f / keep : 0.0f;
+  auto& gp = grads.params;
+  gp = MhaParamsT<T>::Init(d, 0);  // allocate shapes
+
+  // Output bias and projection.
+  ops::BiasBackwardDW(d_out, gp.bo);
+  auto d_gamma = Einsum<T>("whi,ibj->whbj", params_.wo, d_out);
+  gp.wo = Einsum<T>("ibj,whbj->whi", d_out, acts.gamma_t);
+
+  // gamma backward.
+  auto d_alpha = Einsum<T>("whbk,whbj->hbjk", acts.vv_b, d_gamma);
+  auto d_vv = Einsum<T>("whbj,hbjk->whbk", d_gamma, acts.alpha);
+
+  // BS: dropout + softmax + scale.
+  Tensor<T> d_beta(Shape("hbjk", {d.h, d.b, d.j, d.k}));
+  ops::ScaledSoftmaxBackwardDX(d_alpha, acts.attn_mask, acts.softmax_saved,
+                               'k', scale, keep_scale, d_beta);
+
+  // QKT backward.
+  auto d_kk = Einsum<T>("phbj,hbjk->phbk", acts.qq_b, d_beta);
+  auto d_qq = Einsum<T>("hbjk,phbk->phbj", d_beta, acts.kk_b);
+
+  // Projection biases, weights, and input gradients.
+  ops::BiasBackwardDW(d_qq, gp.bq);
+  ops::BiasBackwardDW(d_kk, gp.bk);
+  ops::BiasBackwardDW(d_vv, gp.bv);
+  grads.d_q = Einsum<T>("phi,phbj->ibj", params_.wq, d_qq);
+  grads.d_k = Einsum<T>("phi,phbk->ibk", params_.wk, d_kk);
+  grads.d_v = Einsum<T>("whi,whbk->ibk", params_.wv, d_vv);
+  gp.wq = Einsum<T>("phbj,ibj->phi", d_qq, acts.q);
+  gp.wk = Einsum<T>("phbk,ibk->phi", d_kk, acts.k);
+  gp.wv = Einsum<T>("whbk,ibk->whi", d_vv, acts.v);
+}
+
+template struct MhaParamsT<Half>;
+template struct MhaParamsT<float>;
+template class MhaLayerT<Half>;
+template class MhaLayerT<float>;
+
+}  // namespace xflow::transformer

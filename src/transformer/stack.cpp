@@ -1,0 +1,66 @@
+#include "transformer/stack.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace xflow::transformer {
+
+template <typename T>
+EncoderStackT<T>::EncoderStackT(EncoderConfig config, int num_layers,
+                                std::uint64_t seed) {
+  require(num_layers > 0, "stack needs at least one layer");
+  layers_.reserve(static_cast<std::size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    EncoderConfig layer_cfg = config;
+    layer_cfg.seed = config.seed + 1000 * static_cast<std::uint64_t>(l);
+    layers_.emplace_back(
+        layer_cfg,
+        EncoderParamsT<T>::Init(config.dims,
+                                seed + static_cast<std::uint64_t>(l)));
+  }
+}
+
+template <typename T>
+const Tensor<T>& EncoderStackT<T>::Forward(
+    const Tensor<T>& x, std::vector<EncoderActivationsT<T>>& acts) const {
+  acts.assign(layers_.size(), {});
+  const Tensor<T>* cur = &x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].Forward(*cur, acts[l]);
+    cur = &acts[l].y;
+  }
+  return acts.back().y;
+}
+
+template <typename T>
+Tensor<T> EncoderStackT<T>::Backward(
+    const Tensor<T>& d_y, const std::vector<EncoderActivationsT<T>>& acts,
+    std::vector<EncoderGradientsT<T>>& grads) const {
+  require(acts.size() == layers_.size(),
+          "activations must come from this stack's Forward");
+  grads.assign(layers_.size(), {});
+  Tensor<T> grad = d_y;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    layers_[l].Backward(grad, acts[l], grads[l]);
+    grad = grads[l].d_x;
+  }
+  return grad;
+}
+
+template <typename T>
+std::vector<std::pair<std::string, Tensor<T>*>>
+EncoderStackT<T>::NamedParams() {
+  std::vector<std::pair<std::string, Tensor<T>*>> out;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    for (auto& [name, t] : layers_[l].params().Named()) {
+      out.emplace_back(
+          StrFormat("layer%zu.%s", l, name.c_str()), t);
+    }
+  }
+  return out;
+}
+
+template class EncoderStackT<Half>;
+template class EncoderStackT<float>;
+
+}  // namespace xflow::transformer

@@ -1,0 +1,51 @@
+// A stack of encoder (or causal decoder) layers with a single
+// forward/backward interface -- "our implementation can also be extended
+// to support a full training pipeline by stacking our optimized layers"
+// (Sec. VI-C).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "transformer/encoder.hpp"
+
+namespace xflow::transformer {
+
+template <typename T>
+class EncoderStackT {
+ public:
+  /// `config.seed` seeds layer 0's dropout; deeper layers offset it.
+  EncoderStackT(EncoderConfig config, int num_layers, std::uint64_t seed);
+
+  [[nodiscard]] int num_layers() const {
+    return static_cast<int>(layers_.size());
+  }
+  [[nodiscard]] EncoderLayerT<T>& layer(int index) {
+    return layers_[static_cast<std::size_t>(index)];
+  }
+
+  /// Runs every layer; `acts` gets one entry per layer. Returns the final
+  /// output (acts.back().y).
+  const Tensor<T>& Forward(const Tensor<T>& x,
+                           std::vector<EncoderActivationsT<T>>& acts) const;
+
+  /// Backpropagates through the whole stack; returns d_x of layer 0 and
+  /// fills one gradient set per layer.
+  Tensor<T> Backward(const Tensor<T>& d_y,
+                     const std::vector<EncoderActivationsT<T>>& acts,
+                     std::vector<EncoderGradientsT<T>>& grads) const;
+
+  /// All parameters, names prefixed "layer<n>." -- optimizer/checkpoint
+  /// friendly.
+  std::vector<std::pair<std::string, Tensor<T>*>> NamedParams();
+
+ private:
+  std::vector<EncoderLayerT<T>> layers_;
+};
+
+using EncoderStack = EncoderStackT<Half>;
+extern template class EncoderStackT<Half>;
+extern template class EncoderStackT<float>;
+
+}  // namespace xflow::transformer

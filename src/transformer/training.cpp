@@ -1,0 +1,87 @@
+#include "transformer/training.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xflow::transformer {
+
+void MixedPrecisionAdam::Step(const std::string& name, TensorF& master,
+                              TensorH& working, const TensorH& grad) {
+  require(master.size() == working.size() && master.size() == grad.size(),
+          "parameter/gradient sizes must match");
+  auto it = state_.find(name);
+  if (it == state_.end()) {
+    State s;
+    s.m = TensorF(master.shape());
+    s.v = TensorF(master.shape());
+    it = state_.emplace(name, std::move(s)).first;
+  }
+  State& s = it->second;
+  require(s.m.size() == master.size(), "parameter changed shape");
+  ++s.t;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(s.t));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(s.t));
+  for (std::int64_t i = 0; i < master.size(); ++i) {
+    const float g = float(grad.data()[i]);
+    float& m = s.m.data()[i];
+    float& v = s.v.data()[i];
+    m = config_.beta1 * m + (1.0f - config_.beta1) * g;
+    v = config_.beta2 * v + (1.0f - config_.beta2) * g * g;
+    const float m_hat = m / bc1;
+    const float v_hat = v / bc2;
+    master.data()[i] -=
+        config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+    working.data()[i] = Half(master.data()[i]);
+  }
+}
+
+std::int64_t MixedPrecisionAdam::steps(const std::string& name) const {
+  const auto it = state_.find(name);
+  return it == state_.end() ? 0 : it->second.t;
+}
+
+float WarmupSchedule::At(std::int64_t t) const {
+  require(t >= 1, "steps are 1-based");
+  if (warmup_ <= 0) return base_lr_;
+  const auto tf = static_cast<float>(t);
+  const auto wf = static_cast<float>(warmup_);
+  if (t <= warmup_) return base_lr_ * tf / wf;
+  return base_lr_ * std::sqrt(wf / tf);
+}
+
+double ClipGradNorm(const std::vector<TensorH*>& grads, double max_norm) {
+  require(max_norm > 0, "max_norm must be positive");
+  double sum_sq = 0;
+  for (const TensorH* g : grads) {
+    for (std::int64_t i = 0; i < g->size(); ++i) {
+      const double v = float(g->data()[i]);
+      sum_sq += v * v;
+    }
+  }
+  const double norm = std::sqrt(sum_sq);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (TensorH* g : grads) {
+      for (std::int64_t i = 0; i < g->size(); ++i) {
+        g->data()[i] = Half(float(g->data()[i]) * scale);
+      }
+    }
+  }
+  return norm;
+}
+
+double MseLoss(const TensorH& y, const TensorH& target, TensorH& d_y) {
+  require(y.size() == target.size() && y.size() == d_y.size(),
+          "loss tensors must match in size");
+  const double n = static_cast<double>(y.size());
+  double loss = 0;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    const float diff = float(y.data()[i]) - float(target.data()[i]);
+    loss += static_cast<double>(diff) * diff;
+    d_y.data()[i] = Half(2.0f * diff / static_cast<float>(n));
+  }
+  return loss / n;
+}
+
+}  // namespace xflow::transformer

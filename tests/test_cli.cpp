@@ -1,0 +1,60 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xflow {
+namespace {
+
+ArgParser Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesIntsDoublesStrings) {
+  auto p = Parse({"--batch=8", "--lr=0.001", "--name=bert"});
+  EXPECT_EQ(p.GetInt("batch", 1), 8);
+  EXPECT_DOUBLE_EQ(p.GetDouble("lr", 1.0), 0.001);
+  EXPECT_EQ(p.GetString("name", "x"), "bert");
+}
+
+TEST(Cli, FallbacksApplyWhenMissing) {
+  auto p = Parse({});
+  EXPECT_EQ(p.GetInt("batch", 42), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("lr", 0.5), 0.5);
+  EXPECT_EQ(p.GetString("name", "dflt"), "dflt");
+  EXPECT_FALSE(p.GetFlag("verbose"));
+}
+
+TEST(Cli, FlagsWithAndWithoutValues) {
+  auto p = Parse({"--verbose", "--fused=false", "--causal=1"});
+  EXPECT_TRUE(p.GetFlag("verbose"));
+  EXPECT_FALSE(p.GetFlag("fused"));
+  EXPECT_TRUE(p.GetFlag("causal"));
+}
+
+TEST(Cli, PositionalArgumentsPreserved) {
+  auto p = Parse({"input.bin", "--x=1", "output.bin"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.bin");
+  EXPECT_EQ(p.positional()[1], "output.bin");
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+  auto p = Parse({"--batch=eight", "--lr=fast"});
+  EXPECT_THROW(p.GetInt("batch", 1), InvalidArgument);
+  EXPECT_THROW(p.GetDouble("lr", 1.0), InvalidArgument);
+}
+
+TEST(Cli, UnknownOptionDetection) {
+  auto p = Parse({"--known=1", "--typo=2"});
+  EXPECT_EQ(p.GetInt("known", 0), 1);
+  const auto unknown = p.UnknownOptions();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace xflow

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace xflow {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  try {
+    check(false, "broken invariant");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("broken invariant"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(require(false, "bad arg"), InvalidArgument);
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(Strings, HumanCount) {
+  EXPECT_EQ(HumanCount(4.19e6), "4.2M");
+  EXPECT_EQ(HumanCount(8.59e9), "8.59G");
+  EXPECT_EQ(HumanCount(512), "512");
+}
+
+TEST(Units, PaperGflopConvention) {
+  // 24 Gflop in the paper == 24 * 2^30 flop.
+  EXPECT_DOUBLE_EQ(ToGflop(24.0 * kGiFlop), 24.0);
+  EXPECT_DOUBLE_EQ(ToMega(4.19e6), 4.19);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  AsciiTable t({"op", "time"});
+  t.AddRow({"softmax", "453"});
+  t.AddRow({"layernorm extra long", "63"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| op "), std::string::npos);
+  EXPECT_NE(out.find("| softmax "), std::string::npos);
+  // All lines must have identical width.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only one"}), InvalidArgument);
+}
+
+TEST(Distribution, SummaryQuartiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);  // 1..101
+  auto s = Summarize(v, 10);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 101);
+  EXPECT_DOUBLE_EQ(s.median, 51);
+  EXPECT_DOUBLE_EQ(s.q1, 26);
+  EXPECT_DOUBLE_EQ(s.q3, 76);
+  EXPECT_EQ(s.count, 101u);
+}
+
+TEST(Distribution, DensityPeaksWhereMassIs) {
+  std::vector<double> v(100, 5.0);
+  v.push_back(0.0);
+  v.push_back(10.0);
+  auto s = Summarize(v, 11);
+  // Middle bin holds the repeated value => normalized density 1.
+  EXPECT_DOUBLE_EQ(s.density[5], 1.0);
+  EXPECT_LT(s.density[1], 0.1);
+  const std::string sketch = RenderDensity(s);
+  EXPECT_EQ(sketch.size(), 11u);
+  EXPECT_EQ(sketch[5], '@');
+}
+
+TEST(Distribution, EmptyInputThrows) {
+  EXPECT_THROW(Summarize({}, 8), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xflow

@@ -1,0 +1,85 @@
+#include "config/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace xflow::config {
+namespace {
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  SelectionTest()
+      : g_(graph::BuildEncoder(graph::ModelDims::BertLarge(),
+                               graph::AlgebraicFusion::kQKV, true)),
+        fused_(fusion::FuseMaximally(g_)),
+        model_(sim::DeviceSpec::V100()) {}
+
+  graph::DataflowGraph g_;
+  fusion::FusionResult fused_;
+  sim::GpuModel model_;
+};
+
+TEST_F(SelectionTest, CoversTheElevenForwardStages) {
+  const auto r = SelectConfigurations(model_, g_, fused_);
+  // Forward chain: QKV, AIB, QKT, SM, gamma, out, DRLN, lin1, BRD, lin2,
+  // BDRLN.
+  ASSERT_EQ(r.stages.size(), 11u);
+  EXPECT_EQ(r.stages.front().kernel_name, "Q,K,V");
+  EXPECT_EQ(r.stages[1].kernel_name, "AIB");
+  EXPECT_EQ(r.stages[3].kernel_name, "SM");
+  EXPECT_EQ(r.stages.back().kernel_name, "BDRLN");
+}
+
+TEST_F(SelectionTest, LayoutsChainConsistently) {
+  const auto r = SelectConfigurations(model_, g_, fused_);
+  for (std::size_t i = 0; i + 1 < r.stages.size(); ++i) {
+    EXPECT_EQ(r.stages[i].out_layout, r.stages[i + 1].in_layout)
+        << "boundary " << i;
+  }
+}
+
+TEST_F(SelectionTest, WithinFourPercentOfPerStageLowerBound) {
+  // Paper Sec. VI-A: the selected configuration is within 4% of the sum of
+  // each operator's unconstrained best.
+  const auto r = SelectConfigurations(model_, g_, fused_);
+  EXPECT_GE(r.GapToLowerBound(), 0.0);
+  EXPECT_LT(r.GapToLowerBound(), 0.04);
+}
+
+TEST_F(SelectionTest, GlobalBeatsGreedyLocalChoices) {
+  const auto r = SelectConfigurations(model_, g_, fused_);
+  const double greedy = GreedySelectionTime(model_, g_, fused_);
+  EXPECT_LE(r.total_time_us, greedy);
+}
+
+TEST_F(SelectionTest, StageTimesNeverBelowTheirOwnBest) {
+  const auto r = SelectConfigurations(model_, g_, fused_);
+  for (const auto& s : r.stages) {
+    EXPECT_GE(s.time_us + 1e-9, s.best_time_us) << s.kernel_name;
+    EXPECT_GE(r.StagePenalty(s.kernel_name), 1.0) << s.kernel_name;
+  }
+}
+
+TEST_F(SelectionTest, GraphIsSmallEnoughForLinearTimeSssp) {
+  // Paper: the DAG is small; SSSP takes seconds for BERT. Ours is smaller
+  // still -- sanity-bound it.
+  const auto r = SelectConfigurations(model_, g_, fused_);
+  EXPECT_GT(r.graph_nodes, 10);
+  EXPECT_LT(r.graph_nodes, 1000);
+  EXPECT_GT(r.graph_edges, 100);
+  EXPECT_LT(r.graph_edges, 100000);
+}
+
+TEST_F(SelectionTest, WorksAtOtherModelSizes) {
+  auto g = graph::BuildEncoder(graph::ModelDims::BertLargeB96(),
+                               graph::AlgebraicFusion::kQKV, true);
+  auto fused = fusion::FuseMaximally(g);
+  const auto r = SelectConfigurations(model_, g, fused);
+  EXPECT_EQ(r.stages.size(), 11u);
+  EXPECT_GT(r.total_time_us, 0);
+  EXPECT_LT(r.GapToLowerBound(), 0.06);
+}
+
+}  // namespace
+}  // namespace xflow::config

@@ -1,0 +1,154 @@
+#include "tensor/einsum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace xflow {
+namespace {
+
+TEST(EinsumSpec, ParsesAndClassifiesMhaProjection) {
+  // Input projection from the paper's MHA code: wq[phi] * q[ibj] -> [phbj].
+  auto s = EinsumSpec::Parse("phi,ibj->phbj");
+  EXPECT_EQ(s.m_dims, "ph");
+  EXPECT_EQ(s.n_dims, "bj");
+  EXPECT_EQ(s.k_dims, "i");
+  EXPECT_EQ(s.batch_dims, "");
+}
+
+TEST(EinsumSpec, ParsesBatchedAttentionScore) {
+  // beta = kk[phbk] * qq[phbj] -> [hbjk]: batched over h,b; contracts p.
+  auto s = EinsumSpec::Parse("phbk,phbj->hbjk");
+  EXPECT_EQ(s.batch_dims, "hb");
+  EXPECT_EQ(s.m_dims, "k");
+  EXPECT_EQ(s.n_dims, "j");
+  EXPECT_EQ(s.k_dims, "p");
+}
+
+TEST(EinsumSpec, ParsesOutputProjection) {
+  auto s = EinsumSpec::Parse("whi,whbj->ibj");
+  EXPECT_EQ(s.m_dims, "i");
+  EXPECT_EQ(s.n_dims, "bj");
+  EXPECT_EQ(s.k_dims, "wh");
+}
+
+TEST(EinsumSpec, RejectsMalformed) {
+  EXPECT_THROW(EinsumSpec::Parse("abc"), InvalidArgument);
+  EXPECT_THROW(EinsumSpec::Parse("ab,bc"), InvalidArgument);
+  // 'x' appears only in one input and not the output:
+  EXPECT_THROW(EinsumSpec::Parse("ax,ab->b"), InvalidArgument);
+}
+
+TEST(EinsumSpec, FlopCountMatchesPaperQkv) {
+  // Q/K/V fused projection at paper dims: 2 * (3*64*16) * 1024 * (8*512)
+  // = 24 "Gflop" in the paper's 2^30 convention (Table III row 1).
+  auto s = EinsumSpec::Parse("phi,ibj->phbj");
+  Shape w("phi", {192, 16, 1024});
+  Shape x("ibj", {1024, 8, 512});
+  const double gflop =
+      static_cast<double>(s.FlopCount(w, x)) / (1024.0 * 1024.0 * 1024.0);
+  EXPECT_NEAR(gflop, 24.0, 1e-9);
+}
+
+TEST(Einsum, MatchesReferenceMatmul) {
+  auto a = TensorF::Random(Shape("mk", {17, 23}), 1);
+  auto b = TensorF::Random(Shape("kn", {23, 9}), 2);
+  auto fast = Einsum<float>("mk,kn->mn", a, b);
+  auto ref = EinsumRef<float>("mk,kn->mn", a, b);
+  EXPECT_LT(MaxAbsDiff(fast, ref), 1e-5);
+}
+
+TEST(Einsum, HandlesTransposedOperandLayouts) {
+  auto a = TensorF::Random(Shape("mk", {17, 23}), 1).Permuted("km");
+  auto b = TensorF::Random(Shape("kn", {23, 9}), 2).Permuted("nk");
+  auto fast = Einsum<float>("mk,kn->mn", a, b);
+  auto ref = EinsumRef<float>("mk,kn->mn", a, b);
+  EXPECT_LT(MaxAbsDiff(fast, ref), 1e-5);
+}
+
+TEST(Einsum, AlphaScalesResult) {
+  auto a = TensorF::Random(Shape("mk", {5, 7}), 3);
+  auto b = TensorF::Random(Shape("kn", {7, 4}), 4);
+  auto one = Einsum<float>("mk,kn->mn", a, b, 1.0f);
+  auto eight = Einsum<float>("mk,kn->mn", a, b, 0.125f);
+  for (std::int64_t i = 0; i < one.size(); ++i) {
+    EXPECT_NEAR(one.data()[i] * 0.125f, eight.data()[i], 1e-6);
+  }
+}
+
+TEST(Einsum, BetaAccumulatesIntoOutput) {
+  auto a = TensorF::Random(Shape("mk", {5, 7}), 3);
+  auto b = TensorF::Random(Shape("kn", {7, 4}), 4);
+  auto c = Einsum<float>("mk,kn->mn", a, b);
+  auto acc = TensorF::Full(Shape("mn", {5, 4}), 1.0f);
+  EinsumInto<float>(EinsumSpec::Parse("mk,kn->mn"), a, b, acc, 1.0f, 1.0f);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(acc.data()[i], c.data()[i] + 1.0f, 1e-5);
+  }
+}
+
+TEST(Einsum, HalfInputsAccumulateInFp32) {
+  // Sum of 4096 values of 0.01: fp16 accumulation would stall at ~0.25
+  // increments; fp32 accumulation keeps full precision until final rounding.
+  auto a = Tensor<Half>::Full(Shape("mk", {1, 4096}), 0.01f);
+  auto b = Tensor<Half>::Full(Shape("kn", {4096, 1}), 1.0f);
+  auto c = Einsum<Half>("mk,kn->mn", a, b);
+  const float expected = 4096.0f * float(Half(0.01f));
+  EXPECT_NEAR(float(c.data()[0]), expected, expected * 1e-3);
+}
+
+// Property-style sweep: fast path equals reference on every MHA contraction
+// at reduced dimensions, in every operand memory layout combination tested.
+class EinsumContractionSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(EinsumContractionSweep, FastPathMatchesReference) {
+  const auto& [spec_str, layout_kind] = GetParam();
+  auto spec = EinsumSpec::Parse(spec_str);
+
+  // Reduced paper dimensions.
+  auto extent = [](char d) -> std::int64_t {
+    switch (d) {
+      case 'p': case 'w': return 8;
+      case 'h': return 3;
+      case 'i': return 24;
+      case 'b': return 2;
+      case 'j': case 'k': return 10;
+      case 'u': return 16;
+      default: return 4;
+    }
+  };
+  auto make = [&](const std::string& dims, std::uint64_t seed) {
+    std::vector<DimExt> de;
+    for (char d : dims) de.push_back({d, extent(d)});
+    auto t = TensorH::Random(Shape(de), seed);
+    if (layout_kind == "reversed") {
+      std::string rev(dims.rbegin(), dims.rend());
+      return t.Permuted(rev);
+    }
+    return t;
+  };
+
+  auto a = make(spec.a, 11);
+  auto b = make(spec.b, 22);
+  auto fast = Einsum<Half>(spec, a, b);
+  auto ref = EinsumRef<Half>(spec, a, b);
+  EXPECT_LT(MaxAbsDiff(fast, ref), 0.01) << spec_str << " " << layout_kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMhaContractions, EinsumContractionSweep,
+    ::testing::Combine(
+        ::testing::Values("phi,ibj->phbj",    // Q/K/V projection
+                          "phbk,phbj->hbjk",  // QK^T
+                          "whbk,hbjk->whbj",  // gamma
+                          "whi,whbj->ibj",    // output projection
+                          "ui,ibj->ubj",      // linear1
+                          "iu,ubj->ibj"),     // linear2
+        ::testing::Values("natural", "reversed")));
+
+}  // namespace
+}  // namespace xflow

@@ -1,0 +1,135 @@
+#include "transformer/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace xflow::transformer {
+namespace {
+
+graph::ModelDims EmbDims() {
+  auto d = graph::ModelDims::Tiny();
+  d.b = 2;
+  d.j = 4;
+  d.i = 8;
+  return d;
+}
+
+TEST(Embedding, ForwardSumsTokenAndPosition) {
+  const auto d = EmbDims();
+  EmbeddingT<float> emb(10, d, 1);
+  TokenIds tokens = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto x = emb.Forward(tokens);
+  EXPECT_EQ(x.shape().names(), "ibj");
+  for (std::int64_t i = 0; i < d.i; ++i) {
+    const float expected = emb.token_table().at({{'v', 3}, {'i', i}}) +
+                           emb.pos_table().at({{'j', 3}, {'i', i}});
+    EXPECT_FLOAT_EQ(x.at({{'i', i}, {'b', 0}, {'j', 3}}), expected);
+  }
+}
+
+TEST(Embedding, SameTokenSharesRows) {
+  const auto d = EmbDims();
+  EmbeddingT<float> emb(10, d, 2);
+  TokenIds tokens = {5, 5, 5, 5, 5, 5, 5, 5};
+  auto x = emb.Forward(tokens);
+  // Same token at the same position in different batches => same vector.
+  for (std::int64_t i = 0; i < d.i; ++i) {
+    EXPECT_FLOAT_EQ(x.at({{'i', i}, {'b', 0}, {'j', 2}}),
+                    x.at({{'i', i}, {'b', 1}, {'j', 2}}));
+  }
+}
+
+TEST(Embedding, RejectsBadInput) {
+  const auto d = EmbDims();
+  EmbeddingT<float> emb(10, d, 3);
+  EXPECT_THROW(emb.Forward({1, 2, 3}), InvalidArgument);  // wrong count
+  TokenIds bad(static_cast<std::size_t>(d.b * d.j), 0);
+  bad[0] = 99;  // out of vocab
+  EXPECT_THROW(emb.Forward(bad), InvalidArgument);
+}
+
+TEST(Embedding, BackwardAccumulatesRepeatedTokens) {
+  const auto d = EmbDims();
+  EmbeddingT<float> emb(10, d, 4);
+  TokenIds tokens = {7, 7, 7, 7, 7, 7, 7, 7};  // all the same token
+  auto d_x = TensorF::Full(Shape("ibj", {d.i, d.b, d.j}), 1.0f);
+  TensorF d_tok(Shape("vi", {10, d.i})), d_pos(Shape("ji", {d.j, d.i}));
+  emb.Backward(d_x, tokens, d_tok, d_pos);
+  for (std::int64_t i = 0; i < d.i; ++i) {
+    // Token 7 occurs b*j = 8 times.
+    EXPECT_FLOAT_EQ(d_tok.at({{'v', 7}, {'i', i}}), 8.0f);
+    EXPECT_FLOAT_EQ(d_tok.at({{'v', 0}, {'i', i}}), 0.0f);
+    // Each position occurs b = 2 times.
+    EXPECT_FLOAT_EQ(d_pos.at({{'j', 1}, {'i', i}}), 2.0f);
+  }
+}
+
+TEST(Embedding, GradientMatchesFiniteDifferences) {
+  const auto d = EmbDims();
+  EmbeddingT<float> emb(6, d, 5);
+  TokenIds tokens = {0, 1, 2, 3, 4, 5, 0, 1};
+  auto loss = [&] { return testutil::ProbeLoss(emb.Forward(tokens)); };
+  auto numeric = testutil::NumericalGradient(emb.token_table(), loss, 1e-3f);
+
+  auto d_x = testutil::ProbeLossGrad(Shape("ibj", {d.i, d.b, d.j}));
+  TensorF d_tok(Shape("vi", {6, d.i})), d_pos(Shape("ji", {d.j, d.i}));
+  emb.Backward(d_x, tokens, d_tok, d_pos);
+  EXPECT_LT(MaxAbsDiff(d_tok, numeric), 1e-3);
+}
+
+TEST(LmHead, LogitsAreTableTimesActivations) {
+  const auto d = EmbDims();
+  auto table = TensorF::Random(Shape("vi", {5, d.i}), 6);
+  auto x = TensorF::Random(Shape("ibj", {d.i, d.b, d.j}), 7);
+  auto logits = LmLogits(table, x);
+  EXPECT_EQ(logits.shape().names(), "vbj");
+  float manual = 0;
+  for (std::int64_t i = 0; i < d.i; ++i) {
+    manual += table.at({{'v', 2}, {'i', i}}) *
+              x.at({{'i', i}, {'b', 1}, {'j', 3}});
+  }
+  EXPECT_NEAR(logits.at({{'v', 2}, {'b', 1}, {'j', 3}}), manual, 1e-4);
+}
+
+TEST(CrossEntropy, PerfectPredictionHasLowLossAndTinyGradient) {
+  TensorF logits(Shape("vbj", {4, 1, 2}));
+  TokenIds targets = {2, 0};
+  // Put huge mass on the targets.
+  logits.at({{'v', 2}, {'b', 0}, {'j', 0}}) = 20.0f;
+  logits.at({{'v', 0}, {'b', 0}, {'j', 1}}) = 20.0f;
+  TensorF d_logits(logits.shape());
+  const double loss = SoftmaxCrossEntropy(logits, targets, d_logits);
+  EXPECT_LT(loss, 1e-6);
+  for (std::int64_t e = 0; e < d_logits.size(); ++e) {
+    EXPECT_LT(std::abs(d_logits.data()[e]), 1e-6);
+  }
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogVocab) {
+  TensorF logits(Shape("vbj", {8, 2, 3}));  // all zeros -> uniform
+  TokenIds targets = {0, 1, 2, 3, 4, 5};
+  TensorF d_logits(logits.shape());
+  const double loss = SoftmaxCrossEntropy(logits, targets, d_logits);
+  EXPECT_NEAR(loss, std::log(8.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifferences) {
+  auto logits = TensorF::Random(Shape("vbj", {5, 2, 2}), 8);
+  TokenIds targets = {1, 4, 0, 2};
+  TensorF d_logits(logits.shape());
+  SoftmaxCrossEntropy(logits, targets, d_logits);
+
+  auto numeric = testutil::NumericalGradient(
+      logits,
+      [&] {
+        TensorF tmp(logits.shape());
+        return SoftmaxCrossEntropy(logits, targets, tmp);
+      },
+      1e-3f);
+  EXPECT_LT(MaxAbsDiff(d_logits, numeric), 1e-4);
+}
+
+}  // namespace
+}  // namespace xflow::transformer

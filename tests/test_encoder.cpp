@@ -1,0 +1,195 @@
+#include "transformer/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace xflow::transformer {
+namespace {
+
+using graph::ModelDims;
+
+EncoderConfig TinyConfig(bool fused, float dropout = 0.1f) {
+  EncoderConfig c;
+  c.dims = ModelDims::Tiny();
+  c.dropout_prob = dropout;
+  c.seed = 7;
+  c.use_fused_kernels = fused;
+  return c;
+}
+
+TensorH TinyInput(const ModelDims& d, std::uint64_t seed) {
+  return TensorH::Random(Shape("ibj", {d.i, d.b, d.j}), seed);
+}
+
+TEST(Encoder, ForwardProducesLayerNormalizedOutput) {
+  auto cfg = TinyConfig(true, 0.0f);
+  EncoderLayer layer(cfg, EncoderParams::Init(cfg.dims, 3));
+  EncoderActivations acts;
+  auto x = TinyInput(cfg.dims, 5);
+  const auto& y = layer.Forward(x, acts);
+  // Per (b, j) column: mean ~ 0, variance ~ 1 (final layernorm, scale=1).
+  for (std::int64_t b = 0; b < cfg.dims.b; ++b) {
+    for (std::int64_t j = 0; j < cfg.dims.j; ++j) {
+      float sum = 0, sq = 0;
+      for (std::int64_t i = 0; i < cfg.dims.i; ++i) {
+        const float v = float(y.at({{'i', i}, {'b', b}, {'j', j}}));
+        sum += v;
+        sq += v * v;
+      }
+      const float n = static_cast<float>(cfg.dims.i);
+      EXPECT_NEAR(sum / n, 0.0f, 0.01f);
+      EXPECT_NEAR(sq / n, 1.0f, 0.05f);
+    }
+  }
+}
+
+TEST(Encoder, FusedAndUnfusedForwardAreBitIdentical) {
+  auto params = EncoderParams::Init(ModelDims::Tiny(), 11);
+  EncoderLayer fused(TinyConfig(true), params);
+  EncoderLayer unfused(TinyConfig(false), params);
+  auto x = TinyInput(ModelDims::Tiny(), 13);
+  EncoderActivations a_f, a_u;
+  fused.Forward(x, a_f);
+  unfused.Forward(x, a_u);
+  EXPECT_EQ(MaxAbsDiff(a_f.y, a_u.y), 0.0);
+  EXPECT_EQ(MaxAbsDiff(a_f.resid1, a_u.resid1), 0.0);
+  EXPECT_EQ(MaxAbsDiff(a_f.ff_dropped, a_u.ff_dropped), 0.0);
+  EXPECT_EQ(MaxAbsDiff(a_f.alpha, a_u.alpha), 0.0);
+}
+
+TEST(Encoder, FusedAndUnfusedBackwardAreBitIdentical) {
+  auto params = EncoderParams::Init(ModelDims::Tiny(), 17);
+  EncoderLayer fused(TinyConfig(true), params);
+  EncoderLayer unfused(TinyConfig(false), params);
+  auto x = TinyInput(ModelDims::Tiny(), 19);
+  EncoderActivations a_f, a_u;
+  fused.Forward(x, a_f);
+  unfused.Forward(x, a_u);
+  auto d_y = TensorH::Random(a_f.y.shape(), 23);
+  EncoderGradients g_f, g_u;
+  fused.Backward(d_y, a_f, g_f);
+  unfused.Backward(d_y, a_u, g_u);
+  EXPECT_EQ(MaxAbsDiff(g_f.d_x, g_u.d_x), 0.0);
+  EXPECT_EQ(MaxAbsDiff(g_f.params.w_qkv, g_u.params.w_qkv), 0.0);
+  EXPECT_EQ(MaxAbsDiff(g_f.params.b_qkv, g_u.params.b_qkv), 0.0);
+  EXPECT_EQ(MaxAbsDiff(g_f.params.w1, g_u.params.w1), 0.0);
+  EXPECT_EQ(MaxAbsDiff(g_f.params.b2, g_u.params.b2), 0.0);
+  EXPECT_EQ(MaxAbsDiff(g_f.params.ln1_w, g_u.params.ln1_w), 0.0);
+  EXPECT_EQ(MaxAbsDiff(g_f.params.ln2_b, g_u.params.ln2_b), 0.0);
+}
+
+TEST(Encoder, DropoutZeroMeansDeterministicIdentityMasks) {
+  auto cfg = TinyConfig(true, 0.0f);
+  EncoderLayer layer(cfg, EncoderParams::Init(cfg.dims, 29));
+  EncoderActivations acts;
+  layer.Forward(TinyInput(cfg.dims, 31), acts);
+  for (std::int64_t i = 0; i < acts.ff_drop_mask.size(); ++i) {
+    EXPECT_EQ(float(acts.ff_drop_mask.data()[i]), 1.0f);
+  }
+}
+
+TEST(Encoder, DifferentSeedsChangeDropout) {
+  auto params = EncoderParams::Init(ModelDims::Tiny(), 37);
+  auto cfg_a = TinyConfig(true);
+  auto cfg_b = TinyConfig(true);
+  cfg_b.seed = cfg_a.seed + 1;
+  EncoderLayer a(cfg_a, params), b(cfg_b, params);
+  EncoderActivations aa, ab;
+  auto x = TinyInput(ModelDims::Tiny(), 41);
+  a.Forward(x, aa);
+  b.Forward(x, ab);
+  EXPECT_GT(MaxAbsDiff(aa.ff_drop_mask, ab.ff_drop_mask), 0.0);
+}
+
+// Gradient checks against finite differences (fp32, dropout off).
+class EncoderGradCheck : public ::testing::Test {
+ protected:
+  EncoderGradCheck() {
+    cfg_.dims = ModelDims::Tiny();
+    cfg_.dropout_prob = 0.0f;
+    cfg_.use_fused_kernels = true;
+    params_ = EncoderParamsT<float>::Init(cfg_.dims, 43);
+    x_ = TensorF::Random(Shape("ibj", {cfg_.dims.i, cfg_.dims.b, cfg_.dims.j}),
+                         47);
+  }
+
+  double Loss() {
+    EncoderLayerT<float> layer(cfg_, params_);
+    EncoderActivationsT<float> acts;
+    layer.Forward(x_, acts);
+    return testutil::ProbeLoss(acts.y);
+  }
+
+  EncoderGradientsT<float> Analytic() {
+    EncoderLayerT<float> layer(cfg_, params_);
+    EncoderActivationsT<float> acts;
+    layer.Forward(x_, acts);
+    auto d_y = testutil::ProbeLossGrad(acts.y.shape());
+    EncoderGradientsT<float> grads;
+    layer.Backward(d_y, acts, grads);
+    return grads;
+  }
+
+  EncoderConfig cfg_;
+  EncoderParamsT<float> params_;
+  TensorF x_;
+};
+
+TEST_F(EncoderGradCheck, InputGradientMatchesFiniteDifferences) {
+  auto grads = Analytic();
+  auto numeric =
+      testutil::NumericalGradient(x_, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(MaxAbsDiff(grads.d_x, numeric), 5e-3);
+}
+
+TEST_F(EncoderGradCheck, ProjectionWeightGradientMatches) {
+  auto grads = Analytic();
+  auto numeric = testutil::NumericalGradient(
+      params_.w_qkv, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(MaxAbsDiff(grads.params.w_qkv, numeric), 5e-3);
+}
+
+TEST_F(EncoderGradCheck, FeedForwardWeightGradientsMatch) {
+  // w1 sits right before the ReLU: central differences straddle the kink
+  // for a few elements, so bound the mean error tightly and the max
+  // loosely (the analytic subgradient is correct there).
+  auto mean_abs_diff = [](const TensorF& a, const TensorF& b) {
+    double sum = 0;
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+      sum += std::fabs(static_cast<double>(a.data()[i]) - b.data()[i]);
+    }
+    return sum / static_cast<double>(a.size());
+  };
+  auto grads = Analytic();
+  auto num_w1 = testutil::NumericalGradient(
+      params_.w1, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(mean_abs_diff(grads.params.w1, num_w1), 1e-3);
+  EXPECT_LT(MaxAbsDiff(grads.params.w1, num_w1), 5e-2);
+  auto num_w2 = testutil::NumericalGradient(
+      params_.w2, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(MaxAbsDiff(grads.params.w2, num_w2), 5e-3);
+}
+
+TEST_F(EncoderGradCheck, BiasAndLayerNormGradientsMatch) {
+  auto grads = Analytic();
+  for (auto [name, param, grad] :
+       {std::tuple{"b_out", &params_.b_out, &grads.params.b_out},
+        std::tuple{"ln1_w", &params_.ln1_w, &grads.params.ln1_w},
+        std::tuple{"ln2_b", &params_.ln2_b, &grads.params.ln2_b},
+        std::tuple{"b1", &params_.b1, &grads.params.b1}}) {
+    auto numeric =
+        testutil::NumericalGradient(*param, [&] { return Loss(); }, 5e-3f);
+    EXPECT_LT(MaxAbsDiff(*grad, numeric), 5e-3) << name;
+  }
+}
+
+TEST_F(EncoderGradCheck, OutputProjectionGradientMatches) {
+  auto grads = Analytic();
+  auto numeric = testutil::NumericalGradient(
+      params_.w_out, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(MaxAbsDiff(grads.params.w_out, numeric), 5e-3);
+}
+
+}  // namespace
+}  // namespace xflow::transformer

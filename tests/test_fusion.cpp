@@ -1,0 +1,179 @@
+#include "fusion/fuser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/builder.hpp"
+
+namespace xflow::fusion {
+namespace {
+
+using graph::AlgebraicFusion;
+using graph::BuildEncoder;
+using graph::ModelDims;
+using graph::OpKind;
+using graph::OpNode;
+
+OpNode MapOp(std::string name, std::vector<DimExt> indep,
+             std::vector<DimExt> red = {}) {
+  OpNode op;
+  op.name = std::move(name);
+  op.kind = OpKind::kBias;
+  op.independent_dims = std::move(indep);
+  op.reduction_dims = std::move(red);
+  return op;
+}
+
+TEST(IterationSpaces, IdenticalMapsAreCompatible) {
+  auto a = MapOp("a", {{'i', 8}, {'b', 2}});
+  auto b = MapOp("b", {{'i', 8}, {'b', 2}});
+  EXPECT_TRUE(IterationSpacesCompatible(a, b));
+}
+
+TEST(IterationSpaces, MapPlusReductionOverSameSpaceCompatible) {
+  auto a = MapOp("map", {{'i', 8}, {'b', 2}, {'j', 3}});
+  auto b = MapOp("reduce", {{'b', 2}, {'j', 3}}, {{'i', 8}});
+  EXPECT_TRUE(IterationSpacesCompatible(a, b));
+}
+
+TEST(IterationSpaces, DifferentReductionDimsIncompatible) {
+  auto a = MapOp("r1", {{'i', 8}}, {{'b', 2}, {'j', 3}});
+  auto b = MapOp("r2", {{'b', 2}, {'j', 3}}, {{'i', 8}});
+  EXPECT_FALSE(IterationSpacesCompatible(a, b));
+}
+
+TEST(IterationSpaces, DisjointSpacesIncompatible) {
+  auto a = MapOp("a", {{'i', 8}, {'b', 2}});
+  auto b = MapOp("b", {{'u', 4}, {'k', 3}});
+  EXPECT_FALSE(IterationSpacesCompatible(a, b));
+}
+
+class EncoderFusionTest : public ::testing::Test {
+ protected:
+  graph::DataflowGraph g_ =
+      BuildEncoder(ModelDims::BertLarge(), AlgebraicFusion::kQKV, true);
+  FusionResult r_ = FuseMaximally(g_);
+
+  std::vector<std::string> NonContractionNames() const {
+    std::vector<std::string> names;
+    for (const auto& k : r_.kernels) {
+      if (!k.IsContraction(g_)) names.push_back(k.name);
+    }
+    return names;
+  }
+};
+
+TEST_F(EncoderFusionTest, ProducesThePapersFusedKernelSequence) {
+  // Sec. IV-A lists exactly these fused element-wise/normalization kernels.
+  const std::vector<std::string> expected = {
+      "AIB", "SM",    "DRLN", "BRD",  "BDRLN",  // forward
+      "BSB", "BLNRD", "BDRB", "EBSB", "BLNRD",  // backward (feed-forward)
+      "BAOB", "BS", "BAIB", "BEI"};              // backward (attention)
+  EXPECT_EQ(NonContractionNames(), expected);
+}
+
+TEST_F(EncoderFusionTest, ContractionsRemainUnfused) {
+  int contractions = 0;
+  for (const auto& k : r_.kernels) contractions += k.IsContraction(g_);
+  EXPECT_EQ(contractions, 18);  // 6 forward + 12 backward GEMM launches
+}
+
+TEST_F(EncoderFusionTest, EveryOpAppearsInExactlyOneKernel) {
+  std::map<int, int> seen;
+  for (const auto& k : r_.kernels) {
+    for (int idx : k.op_indices) ++seen[idx];
+  }
+  EXPECT_EQ(seen.size(), g_.ops().size());
+  for (const auto& [idx, count] : seen) {
+    EXPECT_EQ(count, 1) << "op " << idx << " fused more than once";
+  }
+}
+
+TEST_F(EncoderFusionTest, DrlnEliminatesInterimTensors) {
+  for (const auto& k : r_.kernels) {
+    if (k.name == "DRLN") {
+      // attn_biased and attn_dropped never reach memory.
+      EXPECT_EQ(k.interim.size(), 2u);
+      for (const auto& t : k.interim) {
+        EXPECT_TRUE(t == "attn_biased" || t == "attn_dropped") << t;
+      }
+      return;
+    }
+  }
+  FAIL() << "DRLN kernel not found";
+}
+
+TEST_F(EncoderFusionTest, BrdKeepsReluOutputExternal) {
+  // relu1 is needed by the backward BDRB kernel, so fusion must not
+  // eliminate it even though the next forward op consumes it.
+  for (const auto& k : r_.kernels) {
+    if (k.name == "BRD") {
+      EXPECT_EQ(k.interim, std::vector<std::string>{"lin1_biased"});
+      const auto& outs = k.external_outputs;
+      EXPECT_NE(std::find(outs.begin(), outs.end(), "relu1"), outs.end());
+      return;
+    }
+  }
+  FAIL() << "BRD kernel not found";
+}
+
+TEST_F(EncoderFusionTest, BdrbMergesBothGradientStreams) {
+  for (const auto& k : r_.kernels) {
+    if (k.name == "BDRB") {
+      EXPECT_EQ(k.op_indices.size(), 4u);
+      // d_relu1 is the only interim (bias grads and d_lin1_biased escape).
+      EXPECT_EQ(k.interim, std::vector<std::string>{"d_relu1"});
+      EXPECT_EQ(k.reduction_dims, "bj");
+      return;
+    }
+  }
+  FAIL() << "BDRB kernel not found";
+}
+
+TEST_F(EncoderFusionTest, BaibAndBeiStaySeparate) {
+  // The trailing residual (BEI) must not launch-merge into the bias-grad
+  // reduction (BAIB): it performs no reduction of its own.
+  const auto names = NonContractionNames();
+  const auto baib = std::find(names.begin(), names.end(), "BAIB");
+  ASSERT_NE(baib, names.end());
+  EXPECT_EQ(*(baib + 1), "BEI");
+}
+
+TEST_F(EncoderFusionTest, DataMovementReductionNearPaperValue) {
+  // Paper (Sec. VI-C): ~22.91% data-movement reduction over the standard
+  // implementation. Our accounting reproduces the effect; accept 15-30%.
+  const double reduction = r_.DataMovementReduction(g_);
+  EXPECT_GT(reduction, 0.15);
+  EXPECT_LT(reduction, 0.30);
+}
+
+TEST_F(EncoderFusionTest, FusedNeverMovesMoreThanStandard) {
+  EXPECT_LE(r_.FusedElementsMoved(g_), r_.StandardElementsMoved(g_));
+}
+
+TEST_F(EncoderFusionTest, TinyDimsGiveSameStructure) {
+  // Fusion decisions depend on dimension names, not extents.
+  auto tiny = BuildEncoder(ModelDims::Tiny(), AlgebraicFusion::kQKV, true);
+  auto r = FuseMaximally(tiny);
+  ASSERT_EQ(r.kernels.size(), r_.kernels.size());
+  for (std::size_t i = 0; i < r.kernels.size(); ++i) {
+    EXPECT_EQ(r.kernels[i].name, r_.kernels[i].name);
+  }
+}
+
+TEST(FusionMha, ForwardOnlyGraphFusesBiases) {
+  auto g = graph::BuildMhaForward(ModelDims::BertLarge());
+  auto r = FuseMaximally(g);
+  // bias Q / bias K / bias V are adjacent, space-compatible and share no
+  // tensors -- they stay separate kernels (no dataflow link), matching the
+  // paper's general-attention MHA where AIB handles the fused-QKV case.
+  int bias_kernels = 0;
+  for (const auto& k : r.kernels) {
+    if (!k.IsContraction(g) && k.op_indices.size() == 1) ++bias_kernels;
+  }
+  EXPECT_GE(bias_kernels, 4);  // 3 projection biases + softmax + out bias
+}
+
+}  // namespace
+}  // namespace xflow::fusion

@@ -1,0 +1,85 @@
+#include "fusion/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace xflow::fusion {
+namespace {
+
+using graph::AlgebraicFusion;
+using graph::BuildEncoder;
+using graph::ModelDims;
+
+class PatternTest : public ::testing::Test {
+ protected:
+  PatternTest()
+      : g_(BuildEncoder(ModelDims::BertLarge(), AlgebraicFusion::kQKV, true)),
+        fused_(FuseMaximally(g_)) {}
+
+  const FusedKernel& Kernel(const std::string& name) const {
+    for (const auto& k : fused_.kernels) {
+      if (k.name == name) return k;
+    }
+    throw std::runtime_error("kernel not found: " + name);
+  }
+
+  graph::DataflowGraph g_;
+  FusionResult fused_;
+};
+
+TEST_F(PatternTest, DrlnChainsMapsIntoAReduction) {
+  // bias -> dropout -> residual -> layernorm: two map-map edges, then a
+  // map-reduce edge (Fig. 3's patterns 1 and 2).
+  const auto patterns = KernelPatterns(g_, Kernel("DRLN"));
+  ASSERT_EQ(patterns.size(), 3u);
+  EXPECT_EQ(patterns[0].pattern, FusionPattern::kMapMap);
+  EXPECT_EQ(patterns[1].pattern, FusionPattern::kMapMap);
+  EXPECT_EQ(patterns[2].pattern, FusionPattern::kMapReduce);
+  EXPECT_EQ(patterns[2].consumer, "layernorm 1");
+}
+
+TEST_F(PatternTest, BlnrdIsReduceThenMap) {
+  // layernorm dX (reduction) feeding dropout dX (map): pattern 3.
+  const auto patterns = KernelPatterns(g_, Kernel("BLNRD"));
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].pattern, FusionPattern::kReduceMap);
+}
+
+TEST_F(PatternTest, BdrbLeadsWithASiblingMerge) {
+  // bias2 dW shares no tensor with the dropout-dX chain that follows: the
+  // launch-merge is pattern 4; the chain inside ends in a map-reduce.
+  const auto patterns = KernelPatterns(g_, Kernel("BDRB"));
+  ASSERT_EQ(patterns.size(), 3u);
+  EXPECT_EQ(patterns[0].pattern, FusionPattern::kSibling);
+  EXPECT_EQ(patterns[1].pattern, FusionPattern::kMapMap);
+  EXPECT_EQ(patterns[2].pattern, FusionPattern::kMapReduce);
+}
+
+TEST_F(PatternTest, EbsbMergesResidualIntoReduction) {
+  const auto patterns = KernelPatterns(g_, Kernel("EBSB"));
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].pattern, FusionPattern::kMapReduce);
+  EXPECT_EQ(patterns[0].producer, "residual 2 bwd");
+}
+
+TEST_F(PatternTest, SingleOpKernelsHaveNoPairs) {
+  for (const char* name : {"SM", "BS", "BAOB", "BAIB", "BEI", "BSB"}) {
+    EXPECT_TRUE(KernelPatterns(g_, Kernel(name)).empty()) << name;
+  }
+}
+
+TEST_F(PatternTest, CensusCoversAllFourPatterns) {
+  const auto census = PatternCensus(g_, fused_);
+  int total = 0;
+  for (const auto& [pattern, count] : census) {
+    EXPECT_GT(count, 0) << ToString(pattern);
+    total += count;
+  }
+  // 14 fused kernels contribute |ops|-1 edges each:
+  // DRLN 3 + BRD 2 + BDRLN 3 + BLNRD 1 + BDRB 3 + EBSB 1 + BLNRD 1 = 14.
+  EXPECT_EQ(total, 14);
+}
+
+}  // namespace
+}  // namespace xflow::fusion

@@ -1,0 +1,84 @@
+#include "common/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace xflow {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(float(Half(static_cast<float>(i))), static_cast<float>(i))
+        << "integer " << i << " must be exact in binary16";
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(Half(-1.0f).bits(), 0xBC00);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7BFF);  // max finite
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_EQ(Half(65520.0f).bits(), 0x7C00);  // rounds up past max finite
+  EXPECT_EQ(Half(1e30f).bits(), 0x7C00);
+  EXPECT_EQ(Half(-1e30f).bits(), 0xFC00);
+}
+
+TEST(Half, InfinityAndNaN) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Half(inf).bits(), 0x7C00);
+  EXPECT_EQ(Half(-inf).bits(), 0xFC00);
+  EXPECT_TRUE(std::isnan(float(Half(std::nanf("")))));
+  EXPECT_TRUE(std::isinf(float(Half::FromBits(0x7C00))));
+}
+
+TEST(Half, SubnormalsRoundTrip) {
+  // Smallest positive subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Half(tiny).bits(), 0x0001);
+  EXPECT_EQ(float(Half::FromBits(0x0001)), tiny);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float big_sub = std::ldexp(1023.0f / 1024.0f, -14);
+  EXPECT_EQ(Half(big_sub).bits(), 0x03FF);
+  EXPECT_EQ(float(Half::FromBits(0x03FF)), big_sub);
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_EQ(Half(std::ldexp(1.0f, -26)).bits(), 0x0000);
+  EXPECT_EQ(Half(-std::ldexp(1.0f, -26)).bits(), 0x8000);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10):
+  // must round to even mantissa (1.0).
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3C00);
+  // 1 + 3*2^-11 is halfway between (1 + 2^-10) and (1 + 2^-9): rounds to
+  // even, i.e. 1 + 2^-9.
+  EXPECT_EQ(Half(1.0f + 3.0f * std::ldexp(1.0f, -11)).bits(), 0x3C02);
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Exhaustive: every finite half value converts to float and back exactly.
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const auto h = Half::FromBits(static_cast<std::uint16_t>(bits));
+    const float f = float(h);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(Half(f).bits(), h.bits()) << "bits=" << bits;
+  }
+}
+
+TEST(Half, ArithmeticRoundsOnce) {
+  Half a(1.0f), b(0.0004883f);  // b ~= 2^-11, below 1.0's ulp.
+  a += b;
+  EXPECT_EQ(float(a), 1.0f) << "sum must round back to 1.0 in fp16";
+}
+
+}  // namespace
+}  // namespace xflow

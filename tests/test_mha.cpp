@@ -1,0 +1,214 @@
+#include "transformer/mha.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ops/softmax.hpp"
+#include "test_util.hpp"
+
+namespace xflow::transformer {
+namespace {
+
+using graph::ModelDims;
+
+MhaConfig TinyMha(bool causal = false, float dropout = 0.0f) {
+  MhaConfig c;
+  c.dims = ModelDims::Tiny();
+  c.dropout_prob = dropout;
+  c.causal = causal;
+  c.seed = 3;
+  return c;
+}
+
+TensorH SeqInput(const ModelDims& d, char seq_dim, std::uint64_t seed) {
+  return TensorH::Random(
+      Shape(std::string("ib") + seq_dim,
+            {d.i, d.b, seq_dim == 'j' ? d.j : d.k}),
+      seed);
+}
+
+TEST(Mha, GeneralAttentionRuns) {
+  auto cfg = TinyMha();
+  MhaLayer layer(cfg, MhaParams::Init(cfg.dims, 5));
+  MhaActivations acts;
+  const auto& out = layer.Forward(SeqInput(cfg.dims, 'j', 1),
+                                  SeqInput(cfg.dims, 'k', 2),
+                                  SeqInput(cfg.dims, 'k', 3), acts);
+  EXPECT_EQ(out.shape().names(), "ibj");
+  EXPECT_EQ(out.extent('j'), cfg.dims.j);
+}
+
+TEST(Mha, AttentionRowsSumToOne) {
+  auto cfg = TinyMha();
+  MhaLayer layer(cfg, MhaParams::Init(cfg.dims, 7));
+  MhaActivations acts;
+  layer.Forward(SeqInput(cfg.dims, 'j', 1), SeqInput(cfg.dims, 'k', 2),
+                SeqInput(cfg.dims, 'k', 3), acts);
+  for (std::int64_t h = 0; h < cfg.dims.h; ++h) {
+    for (std::int64_t b = 0; b < cfg.dims.b; ++b) {
+      for (std::int64_t j = 0; j < cfg.dims.j; ++j) {
+        float sum = 0;
+        for (std::int64_t k = 0; k < cfg.dims.k; ++k) {
+          sum += float(acts.softmax_saved.at(
+              {{'h', h}, {'b', b}, {'j', j}, {'k', k}}));
+        }
+        EXPECT_NEAR(sum, 1.0f, 0.02f);
+      }
+    }
+  }
+}
+
+TEST(Mha, CausalMaskZeroesTheFuture) {
+  auto cfg = TinyMha(/*causal=*/true);
+  MhaLayer layer(cfg, MhaParams::Init(cfg.dims, 9));
+  MhaActivations acts;
+  auto x = SeqInput(cfg.dims, 'j', 4);
+  layer.Forward(x, x.RenamedDim('j', 'k'), x.RenamedDim('j', 'k'), acts);
+  for (std::int64_t h = 0; h < cfg.dims.h; ++h) {
+    for (std::int64_t b = 0; b < cfg.dims.b; ++b) {
+      for (std::int64_t j = 0; j < cfg.dims.j; ++j) {
+        float sum = 0;
+        for (std::int64_t k = 0; k < cfg.dims.k; ++k) {
+          const float s = float(acts.softmax_saved.at(
+              {{'h', h}, {'b', b}, {'j', j}, {'k', k}}));
+          if (k > j) {
+            EXPECT_EQ(s, 0.0f) << "future position attended";
+          }
+          sum += s;
+        }
+        EXPECT_NEAR(sum, 1.0f, 0.02f);  // visible prefix still normalized
+      }
+    }
+  }
+}
+
+TEST(Mha, CausalFirstPositionAttendsOnlyItself) {
+  auto cfg = TinyMha(true);
+  MhaLayer layer(cfg, MhaParams::Init(cfg.dims, 11));
+  MhaActivations acts;
+  auto x = SeqInput(cfg.dims, 'j', 5);
+  layer.Forward(x, x.RenamedDim('j', 'k'), x.RenamedDim('j', 'k'), acts);
+  for (std::int64_t h = 0; h < cfg.dims.h; ++h) {
+    for (std::int64_t b = 0; b < cfg.dims.b; ++b) {
+      EXPECT_NEAR(float(acts.softmax_saved.at(
+                      {{'h', h}, {'b', b}, {'j', 0}, {'k', 0}})),
+                  1.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(Mha, CausalOutputIndependentOfFutureInput) {
+  // Changing tokens after position t must not change the output at t.
+  auto cfg = TinyMha(true);
+  MhaLayer layer(cfg, MhaParams::Init(cfg.dims, 13));
+  auto x = SeqInput(cfg.dims, 'j', 6);
+  MhaActivations a1;
+  layer.Forward(x, x.RenamedDim('j', 'k'), x.RenamedDim('j', 'k'), a1);
+
+  auto x2 = x;  // perturb the last position only
+  for (std::int64_t i = 0; i < cfg.dims.i; ++i) {
+    for (std::int64_t b = 0; b < cfg.dims.b; ++b) {
+      x2.at({{'i', i}, {'b', b}, {'j', cfg.dims.j - 1}}) = Half(9.0f);
+    }
+  }
+  MhaActivations a2;
+  layer.Forward(x2, x2.RenamedDim('j', 'k'), x2.RenamedDim('j', 'k'), a2);
+
+  for (std::int64_t i = 0; i < cfg.dims.i; ++i) {
+    for (std::int64_t b = 0; b < cfg.dims.b; ++b) {
+      for (std::int64_t j = 0; j + 1 < cfg.dims.j; ++j) {
+        EXPECT_EQ(
+            float(a1.out.at({{'i', i}, {'b', b}, {'j', j}})),
+            float(a2.out.at({{'i', i}, {'b', b}, {'j', j}})))
+            << "position " << j << " saw the future";
+      }
+    }
+  }
+}
+
+// Gradient checks for the standalone MHA (fp32, no dropout).
+class MhaGradCheck : public ::testing::Test {
+ protected:
+  MhaGradCheck() {
+    cfg_.dims = ModelDims::Tiny();
+    params_ = MhaParamsT<float>::Init(cfg_.dims, 21);
+    q_ = TensorF::Random(
+        Shape("ibj", {cfg_.dims.i, cfg_.dims.b, cfg_.dims.j}), 22);
+    k_ = TensorF::Random(
+        Shape("ibk", {cfg_.dims.i, cfg_.dims.b, cfg_.dims.k}), 23);
+    v_ = TensorF::Random(
+        Shape("ibk", {cfg_.dims.i, cfg_.dims.b, cfg_.dims.k}), 24);
+  }
+
+  double Loss() {
+    MhaLayerT<float> layer(cfg_, params_);
+    MhaActivationsT<float> acts;
+    layer.Forward(q_, k_, v_, acts);
+    return testutil::ProbeLoss(acts.out);
+  }
+
+  MhaGradientsT<float> Analytic() {
+    MhaLayerT<float> layer(cfg_, params_);
+    MhaActivationsT<float> acts;
+    layer.Forward(q_, k_, v_, acts);
+    MhaGradientsT<float> grads;
+    layer.Backward(testutil::ProbeLossGrad(acts.out.shape()), acts, grads);
+    return grads;
+  }
+
+  MhaConfig cfg_;
+  MhaParamsT<float> params_;
+  TensorF q_, k_, v_;
+};
+
+TEST_F(MhaGradCheck, InputGradientsMatchFiniteDifferences) {
+  auto grads = Analytic();
+  auto num_q = testutil::NumericalGradient(q_, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(MaxAbsDiff(grads.d_q, num_q), 5e-3);
+  auto num_k = testutil::NumericalGradient(k_, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(MaxAbsDiff(grads.d_k, num_k), 5e-3);
+  auto num_v = testutil::NumericalGradient(v_, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(MaxAbsDiff(grads.d_v, num_v), 5e-3);
+}
+
+TEST_F(MhaGradCheck, WeightGradientsMatchFiniteDifferences) {
+  auto grads = Analytic();
+  for (auto [name, param, grad] :
+       {std::tuple{"wq", &params_.wq, &grads.params.wq},
+        std::tuple{"wv", &params_.wv, &grads.params.wv},
+        std::tuple{"wo", &params_.wo, &grads.params.wo},
+        std::tuple{"bk", &params_.bk, &grads.params.bk}}) {
+    auto numeric =
+        testutil::NumericalGradient(*param, [&] { return Loss(); }, 5e-3f);
+    EXPECT_LT(MaxAbsDiff(*grad, numeric), 5e-3) << name;
+  }
+}
+
+TEST_F(MhaGradCheck, CausalGradientsMatchFiniteDifferences) {
+  cfg_.causal = true;
+  auto grads = Analytic();
+  auto num_q = testutil::NumericalGradient(q_, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(MaxAbsDiff(grads.d_q, num_q), 5e-3);
+  auto num_wv = testutil::NumericalGradient(
+      params_.wv, [&] { return Loss(); }, 5e-3f);
+  EXPECT_LT(MaxAbsDiff(grads.params.wv, num_wv), 5e-3);
+}
+
+TEST(CausalSoftmaxOp, MatchesPlainSoftmaxOnVisiblePrefix) {
+  const Shape hbjk("hbjk", {1, 1, 4, 4});
+  auto beta = TensorF::Random(hbjk, 31);
+  TensorF alpha(hbjk), mask(hbjk), saved(hbjk);
+  ops::CausalScaledSoftmaxForward(beta, 'k', 'j', 0.7f, DropoutMask(1, 0.0f),
+                                  alpha, mask, saved);
+  // Last row (j = 3) sees everything: equals the unmasked softmax row.
+  TensorF a2(hbjk), m2(hbjk), s2(hbjk);
+  ops::ScaledSoftmaxForward(beta, 'k', 0.7f, DropoutMask(1, 0.0f), a2, m2,
+                            s2);
+  for (std::int64_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(
+        float(saved.at({{'h', 0}, {'b', 0}, {'j', 3}, {'k', k}})),
+        float(s2.at({{'h', 0}, {'b', 0}, {'j', 3}, {'k', k}})), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace xflow::transformer

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/elementwise.hpp"
+#include "ops/layernorm.hpp"
+#include "ops/softmax.hpp"
+#include "test_util.hpp"
+
+namespace xflow::ops {
+namespace {
+
+using testutil::NumericalGradient;
+using testutil::ProbeLoss;
+using testutil::ProbeLossGrad;
+
+TEST(Bias, BroadcastsOverMissingDims) {
+  auto x = TensorF::Random(Shape("ibj", {4, 2, 3}), 1);
+  auto b = TensorF::Random(Shape("i", {4}), 2);
+  TensorF y(x.shape());
+  BiasForward(x, b, y);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t bb = 0; bb < 2; ++bb) {
+      for (std::int64_t j = 0; j < 3; ++j) {
+        EXPECT_FLOAT_EQ(y.at({{'i', i}, {'b', bb}, {'j', j}}),
+                        x.at({{'i', i}, {'b', bb}, {'j', j}}) +
+                            b.at({{'i', i}}));
+      }
+    }
+  }
+}
+
+TEST(Bias, LayoutIndependent) {
+  auto x = TensorH::Random(Shape("ibj", {8, 4, 6}), 3);
+  auto b = TensorH::Random(Shape("i", {8}), 4);
+  TensorH y1(x.shape());
+  BiasForward(x, b, y1);
+  auto x2 = x.Permuted("jbi");
+  TensorH y2(x.shape().Permuted("bji"));
+  BiasForward(x2, b, y2);
+  EXPECT_EQ(MaxAbsDiff(y1, y2), 0.0);
+}
+
+TEST(Bias, BackwardSumsOverReducedDims) {
+  auto dy = TensorF::Full(Shape("ubj", {3, 2, 5}), 1.0f);
+  TensorF db(Shape("u", {3}));
+  BiasBackwardDW(dy, db);
+  for (std::int64_t u = 0; u < 3; ++u) {
+    EXPECT_FLOAT_EQ(db.at({{'u', u}}), 10.0f);
+  }
+}
+
+TEST(Relu, ClampsNegativesAndPassesPositives) {
+  TensorF x(Shape("x", {4}));
+  x.data()[0] = -1.0f;
+  x.data()[1] = 0.0f;
+  x.data()[2] = 2.5f;
+  x.data()[3] = -0.0f;
+  TensorF y(x.shape());
+  ReluForward(x, y);
+  EXPECT_FLOAT_EQ(y.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(y.data()[1], 0.0f);
+  EXPECT_FLOAT_EQ(y.data()[2], 2.5f);
+  EXPECT_FLOAT_EQ(y.data()[3], 0.0f);
+}
+
+TEST(Relu, BackwardGatesOnSavedOutput) {
+  auto x = TensorF::Random(Shape("ub", {6, 5}), 7);
+  TensorF y(x.shape());
+  ReluForward(x, y);
+  auto dy = TensorF::Full(x.shape(), 1.0f);
+  TensorF dx(x.shape());
+  ReluBackwardDX(dy, y, dx);
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(dx.data()[i], x.data()[i] > 0 ? 1.0f : 0.0f);
+  }
+}
+
+TEST(Dropout, MaskMatchesOutputAndScales) {
+  auto x = TensorF::Full(Shape("ib", {32, 32}), 1.0f);
+  DropoutMask mask(5, 0.25f);
+  TensorF y(x.shape()), m(x.shape());
+  DropoutForward(x, mask, y, m);
+  int kept = 0;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    if (m.data()[i] > 0.5f) {
+      EXPECT_NEAR(y.data()[i], 1.0f / 0.75f, 1e-6);
+      ++kept;
+    } else {
+      EXPECT_FLOAT_EQ(y.data()[i], 0.0f);
+    }
+  }
+  EXPECT_GT(kept, 32 * 32 / 2);  // ~75% kept
+}
+
+TEST(Dropout, MaskIsLayoutIndependent) {
+  // The same logical element must be kept/dropped in any layout.
+  auto x = TensorH::Random(Shape("ibj", {6, 4, 5}), 11);
+  DropoutMask mask(42, 0.5f);
+  TensorH y1(x.shape()), m1(x.shape());
+  DropoutForward(x, mask, y1, m1);
+  auto x2 = x.Permuted("jib");
+  TensorH y2(x2.shape()), m2(x2.shape());
+  DropoutForward(x2, mask, y2, m2);
+  EXPECT_EQ(MaxAbsDiff(m1, m2), 0.0);
+  EXPECT_EQ(MaxAbsDiff(y1, y2), 0.0);
+}
+
+TEST(Dropout, BackwardAppliesSameMask) {
+  auto x = TensorF::Random(Shape("ib", {8, 8}), 2);
+  DropoutMask mask(9, 0.3f);
+  TensorF y(x.shape()), m(x.shape());
+  DropoutForward(x, mask, y, m);
+  auto dy = TensorF::Full(x.shape(), 2.0f);
+  TensorF dx(x.shape());
+  DropoutBackwardDX(dy, m, mask.Scale(), dx);
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const float expect = m.data()[i] > 0.5f ? 2.0f * mask.Scale() : 0.0f;
+    EXPECT_NEAR(dx.data()[i], expect, 1e-6);
+  }
+}
+
+TEST(Softmax, RowsSumToOne) {
+  auto x = TensorF::Random(Shape("hjk", {2, 3, 16}), 13);
+  TensorF y(x.shape());
+  SoftmaxForward(x, 'k', y);
+  for (std::int64_t h = 0; h < 2; ++h) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      float sum = 0;
+      for (std::int64_t k = 0; k < 16; ++k) {
+        const float v = y.at({{'h', h}, {'j', j}, {'k', k}});
+        EXPECT_GT(v, 0.0f);
+        sum += v;
+      }
+      EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+  }
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  auto x = TensorF::Full(Shape("jk", {2, 8}), 500.0f);  // exp would overflow
+  TensorF y(x.shape());
+  SoftmaxForward(x, 'k', y);
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y.data()[i], 1.0f / 8.0f, 1e-5);
+  }
+}
+
+TEST(Softmax, BackwardMatchesFiniteDifferences) {
+  auto x = TensorF::Random(Shape("jk", {3, 7}), 21);
+  auto loss = [&] {
+    TensorF y(x.shape());
+    SoftmaxForward(x, 'k', y);
+    return ProbeLoss(y);
+  };
+  const auto numeric = NumericalGradient(x, loss);
+
+  TensorF y(x.shape());
+  SoftmaxForward(x, 'k', y);
+  auto dy = ProbeLossGrad(x.shape());
+  TensorF dx(x.shape());
+  SoftmaxBackwardDX(dy, y, 'k', dx);
+  EXPECT_LT(MaxAbsDiff(dx, numeric), 2e-3);
+}
+
+TEST(ScaledSoftmax, ReducesToSoftmaxWithoutDropoutAndUnitScale) {
+  auto x = TensorF::Random(Shape("hbjk", {2, 2, 3, 8}), 31);
+  TensorF plain(x.shape());
+  SoftmaxForward(x, 'k', plain);
+  TensorF alpha(x.shape()), m(x.shape()), saved(x.shape());
+  ScaledSoftmaxForward(x, 'k', 1.0f, DropoutMask(1, 0.0f), alpha, m, saved);
+  EXPECT_LT(MaxAbsDiff(plain, alpha), 1e-6);
+  EXPECT_LT(MaxAbsDiff(plain, saved), 1e-6);
+}
+
+TEST(ScaledSoftmax, BackwardMatchesFiniteDifferences) {
+  const float scale = 0.37f;
+  auto x = TensorF::Random(Shape("jk", {4, 6}), 17);
+  DropoutMask mask(77, 0.4f);
+  auto loss = [&] {
+    TensorF alpha(x.shape()), m(x.shape()), saved(x.shape());
+    ScaledSoftmaxForward(x, 'k', scale, mask, alpha, m, saved);
+    return ProbeLoss(alpha);
+  };
+  const auto numeric = NumericalGradient(x, loss);
+
+  TensorF alpha(x.shape()), m(x.shape()), saved(x.shape());
+  ScaledSoftmaxForward(x, 'k', scale, mask, alpha, m, saved);
+  auto d_alpha = ProbeLossGrad(x.shape());
+  TensorF d_beta(x.shape());
+  ScaledSoftmaxBackwardDX(d_alpha, m, saved, 'k', scale, mask.Scale(),
+                          d_beta);
+  EXPECT_LT(MaxAbsDiff(d_beta, numeric), 2e-3);
+}
+
+TEST(LayerNorm, NormalizesToZeroMeanUnitVariance) {
+  auto x = TensorF::Random(Shape("bji", {2, 3, 64}), 41);
+  auto gamma = TensorF::Full(Shape("i", {64}), 1.0f);
+  auto beta = TensorF::Full(Shape("i", {64}), 0.0f);
+  TensorF y(x.shape());
+  TensorF mean(Shape("bj", {2, 3})), rstd(Shape("bj", {2, 3}));
+  LayerNormForward(x, gamma, beta, 'i', 1e-5f, y, mean, rstd);
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      float sum = 0, sq = 0;
+      for (std::int64_t i = 0; i < 64; ++i) {
+        const float v = y.at({{'b', b}, {'j', j}, {'i', i}});
+        sum += v;
+        sq += v * v;
+      }
+      EXPECT_NEAR(sum / 64, 0.0f, 1e-4);
+      EXPECT_NEAR(sq / 64, 1.0f, 1e-2);
+    }
+  }
+}
+
+TEST(LayerNorm, AffineParametersApply) {
+  auto x = TensorF::Random(Shape("bi", {2, 32}), 43);
+  auto gamma = TensorF::Full(Shape("i", {32}), 2.0f);
+  auto beta = TensorF::Full(Shape("i", {32}), 0.5f);
+  TensorF y(x.shape());
+  TensorF mean(Shape("b", {2})), rstd(Shape("b", {2}));
+  LayerNormForward(x, gamma, beta, 'i', 1e-5f, y, mean, rstd);
+  float sum = 0;
+  for (std::int64_t i = 0; i < 32; ++i) sum += y.at({{'b', 0}, {'i', i}});
+  EXPECT_NEAR(sum / 32, 0.5f, 1e-4);  // mean of y = beta
+}
+
+TEST(LayerNorm, DxMatchesFiniteDifferences) {
+  auto x = TensorF::Random(Shape("bi", {3, 12}), 47);
+  auto gamma = TensorF::Random(Shape("i", {12}), 48);
+  auto beta = TensorF::Random(Shape("i", {12}), 49);
+  auto loss = [&] {
+    TensorF y(x.shape());
+    TensorF mean(Shape("b", {3})), rstd(Shape("b", {3}));
+    LayerNormForward(x, gamma, beta, 'i', 1e-5f, y, mean, rstd);
+    return ProbeLoss(y);
+  };
+  const auto numeric = NumericalGradient(x, loss);
+
+  TensorF y(x.shape());
+  TensorF mean(Shape("b", {3})), rstd(Shape("b", {3}));
+  LayerNormForward(x, gamma, beta, 'i', 1e-5f, y, mean, rstd);
+  auto dy = ProbeLossGrad(x.shape());
+  TensorF dx(x.shape());
+  LayerNormBackwardDX(dy, gamma, x, mean, rstd, 'i', dx);
+  EXPECT_LT(MaxAbsDiff(dx, numeric), 2e-3);
+}
+
+TEST(LayerNorm, DwMatchesFiniteDifferences) {
+  auto x = TensorF::Random(Shape("bi", {3, 12}), 53);
+  auto gamma = TensorF::Random(Shape("i", {12}), 54);
+  auto beta = TensorF::Random(Shape("i", {12}), 55);
+  TensorF y(x.shape());
+  TensorF mean(Shape("b", {3})), rstd(Shape("b", {3}));
+
+  auto loss_gamma = [&] {
+    LayerNormForward(x, gamma, beta, 'i', 1e-5f, y, mean, rstd);
+    return ProbeLoss(y);
+  };
+  const auto num_dgamma = NumericalGradient(gamma, loss_gamma);
+  const auto num_dbeta = NumericalGradient(beta, loss_gamma);
+
+  LayerNormForward(x, gamma, beta, 'i', 1e-5f, y, mean, rstd);
+  auto dy = ProbeLossGrad(x.shape());
+  TensorF dgamma(Shape("i", {12})), dbeta(Shape("i", {12}));
+  LayerNormBackwardDW(dy, x, mean, rstd, 'i', dgamma, dbeta);
+  EXPECT_LT(MaxAbsDiff(dgamma, num_dgamma), 2e-3);
+  EXPECT_LT(MaxAbsDiff(dbeta, num_dbeta), 2e-3);
+}
+
+TEST(LayerNorm, LayoutIndependent) {
+  auto x = TensorH::Random(Shape("ibj", {16, 3, 4}), 61);
+  auto gamma = TensorH::Random(Shape("i", {16}), 62);
+  auto beta = TensorH::Random(Shape("i", {16}), 63);
+  TensorH y1(x.shape());
+  TensorF mean(Shape("bj", {3, 4})), rstd(Shape("bj", {3, 4}));
+  LayerNormForward(x, gamma, beta, 'i', 1e-5f, y1, mean, rstd);
+
+  auto x2 = x.Permuted("bji");
+  TensorH y2(x2.shape());
+  TensorF mean2(Shape("jb", {4, 3})), rstd2(Shape("jb", {4, 3}));
+  LayerNormForward(x2, gamma, beta, 'i', 1e-5f, y2, mean2, rstd2);
+  EXPECT_EQ(MaxAbsDiff(y1, y2), 0.0);
+}
+
+// Residual/scale sweeps over layouts.
+class ElementwiseLayoutSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ElementwiseLayoutSweep, ResidualAndScaleAreLayoutInvariant) {
+  const std::string layout = GetParam();
+  auto a = TensorH::Random(Shape("ibj", {5, 4, 3}), 71);
+  auto b = TensorH::Random(Shape("ibj", {5, 4, 3}), 72);
+  TensorH ref(a.shape());
+  ResidualForward(a, b, ref);
+
+  auto ap = a.Permuted(layout);
+  auto bp = b.Permuted(layout);
+  TensorH out(ap.shape());
+  ResidualForward(ap, bp, out);
+  EXPECT_EQ(MaxAbsDiff(ref, out), 0.0) << layout;
+
+  TensorH s1(a.shape()), s2(ap.shape());
+  ScaleForward(a, 0.125f, s1);
+  ScaleForward(ap, 0.125f, s2);
+  EXPECT_EQ(MaxAbsDiff(s1, s2), 0.0) << layout;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, ElementwiseLayoutSweep,
+                         ::testing::Values("ibj", "ijb", "bij", "bji", "jib",
+                                           "jbi"));
+
+}  // namespace
+}  // namespace xflow::ops

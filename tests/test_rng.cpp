@@ -1,0 +1,77 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace xflow {
+namespace {
+
+TEST(Philox, DeterministicAcrossInstances) {
+  Philox4x32 a(42), b(42);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.At(i), b.At(i));
+  }
+}
+
+TEST(Philox, OrderIndependent) {
+  // Counter-based: reading indices in any order yields the same values.
+  Philox4x32 gen(7);
+  std::vector<std::uint32_t> forward(256), backward(256);
+  for (std::uint64_t i = 0; i < 256; ++i) forward[i] = gen.At(i);
+  for (std::uint64_t i = 256; i-- > 0;) backward[i] = gen.At(i);
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(Philox, SeedsDecorrelate) {
+  Philox4x32 a(1), b(2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) same += (a.At(i) == b.At(i));
+  EXPECT_LT(same, 3) << "different seeds should give different streams";
+}
+
+TEST(Philox, UniformInUnitInterval) {
+  Philox4x32 gen(123);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const float u = gen.UniformAt(i);
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.005) << "mean of U[0,1) samples";
+}
+
+TEST(Philox, BlockLanesDiffer) {
+  Philox4x32 gen(9);
+  const auto block = gen.Block(5);
+  std::set<std::uint32_t> uniq(block.begin(), block.end());
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+TEST(DropoutMask, MatchesProbability) {
+  DropoutMask mask(99, 0.25f);
+  int kept = 0;
+  constexpr int kN = 100000;
+  for (std::uint64_t i = 0; i < kN; ++i) kept += mask.Keep(i);
+  EXPECT_NEAR(static_cast<double>(kept) / kN, 0.75, 0.01);
+  EXPECT_FLOAT_EQ(mask.Scale(), 1.0f / 0.75f);
+}
+
+TEST(DropoutMask, ZeroProbabilityKeepsEverything) {
+  DropoutMask mask(1, 0.0f);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(mask.Keep(i));
+  EXPECT_FLOAT_EQ(mask.Scale(), 1.0f);
+}
+
+TEST(SplitMix, ProducesDistinctValues) {
+  std::uint64_t state = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(SplitMix64(state));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace xflow

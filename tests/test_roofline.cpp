@@ -1,0 +1,119 @@
+#include "sim/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "transformer/training.hpp"
+
+namespace xflow::sim {
+namespace {
+
+TEST(Roofline, MachineBalanceMatchesV100Specs) {
+  const auto spec = DeviceSpec::V100();
+  EXPECT_NEAR(MachineBalance(spec, false), 31.4e12 / 900e9, 1e-6);
+  EXPECT_NEAR(MachineBalance(spec, true), 125e12 / 900e9, 1e-6);
+}
+
+TEST(Roofline, ClassifiesEncoderOperatorsLikeThePaper) {
+  const auto spec = DeviceSpec::V100();
+  const auto g = BuildEncoder(graph::ModelDims::BertLarge(),
+                              graph::AlgebraicFusion::kQKV, true);
+  // Linear layers: compute-bound on tensor cores; every element-wise and
+  // normalization op: memory-bound on the fp16 pipes.
+  for (const auto& op : g.ops()) {
+    const auto cost = CostOf(g, op);
+    if (op.name == "linear 1" || op.name == "Q,K,V") {
+      EXPECT_EQ(PredictBound(spec, cost, true), RooflineBound::kCompute)
+          << op.name;
+    }
+    if (op.cls() != graph::OpClass::kContraction) {
+      EXPECT_EQ(PredictBound(spec, cost, false), RooflineBound::kMemory)
+          << op.name;
+    }
+  }
+}
+
+TEST(Roofline, AttainableFlopsCapsAtPeak) {
+  const auto spec = DeviceSpec::V100();
+  graph::OpCost huge{.flop = 1e15, .input_elems = 10, .output_elems = 10};
+  EXPECT_DOUBLE_EQ(AttainableFlops(spec, huge, true),
+                   spec.tensor_core_flops);
+  graph::OpCost tiny{.flop = 10, .input_elems = 1 << 20,
+                     .output_elems = 1 << 20};
+  EXPECT_LT(AttainableFlops(spec, tiny, true), 1e9);
+}
+
+TEST(Roofline, SubstantialRuntimeIsMemoryBound) {
+  // Paper Sec. I: "over a third (37%) of the runtime in a BERT training
+  // iteration is spent in memory-bound operators". An ideal roofline
+  // machine shows the same qualitative picture.
+  const auto g = BuildEncoder(graph::ModelDims::BertLarge(),
+                              graph::AlgebraicFusion::kQKV, true);
+  const double frac = MemoryBoundRuntimeFraction(g, DeviceSpec::V100());
+  EXPECT_GT(frac, 0.20);
+  EXPECT_LT(frac, 0.60);
+}
+
+TEST(Roofline, BatchedAttentionGemmsAreBalancedNotComputeBound) {
+  // QKT at BERT dims: ~100 flop/word < TC machine balance of ~139 -- on
+  // tensor cores even a GEMM can be memory-limited (the paper's MUE
+  // discussion for QKT).
+  const auto g = BuildEncoder(graph::ModelDims::BertLarge(),
+                              graph::AlgebraicFusion::kQKV, true);
+  const auto cost = CostOf(g, g.op("QKT"));
+  EXPECT_EQ(PredictBound(DeviceSpec::V100(), cost, true),
+            RooflineBound::kMemory);
+  EXPECT_EQ(PredictBound(DeviceSpec::V100(), cost, false),
+            RooflineBound::kCompute);
+}
+
+}  // namespace
+}  // namespace xflow::sim
+
+namespace xflow::transformer {
+namespace {
+
+TEST(WarmupSchedule, LinearRampThenInverseSqrtDecay) {
+  WarmupSchedule sched(1.0f, 100);
+  EXPECT_NEAR(sched.At(1), 0.01f, 1e-6);
+  EXPECT_NEAR(sched.At(50), 0.5f, 1e-6);
+  EXPECT_NEAR(sched.At(100), 1.0f, 1e-6);
+  EXPECT_NEAR(sched.At(400), 0.5f, 1e-6);   // sqrt(100/400)
+  EXPECT_NEAR(sched.At(10000), 0.1f, 1e-6); // sqrt(100/10000)
+  EXPECT_THROW(sched.At(0), InvalidArgument);
+}
+
+TEST(WarmupSchedule, ZeroWarmupIsConstant) {
+  WarmupSchedule sched(0.5f, 0);
+  EXPECT_FLOAT_EQ(sched.At(1), 0.5f);
+  EXPECT_FLOAT_EQ(sched.At(1000), 0.5f);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  auto g = TensorH::Full(Shape("x", {4}), 0.1f);
+  const double norm = ClipGradNorm({&g}, 10.0);
+  EXPECT_NEAR(norm, 0.2, 1e-3);  // sqrt(4 * 0.01)
+  EXPECT_FLOAT_EQ(float(g.data()[0]), float(Half(0.1f)));  // untouched
+}
+
+TEST(ClipGradNorm, ScalesLargeGradientsToMaxNorm) {
+  auto g1 = TensorH::Full(Shape("x", {4}), 3.0f);
+  auto g2 = TensorH::Full(Shape("y", {4}), 4.0f);
+  const double norm = ClipGradNorm({&g1, &g2}, 1.0);  // norm = 10
+  EXPECT_NEAR(norm, 10.0, 1e-2);
+  double after = 0;
+  for (auto* g : {&g1, &g2}) {
+    for (std::int64_t i = 0; i < g->size(); ++i) {
+      after += float(g->data()[i]) * float(g->data()[i]);
+    }
+  }
+  EXPECT_NEAR(std::sqrt(after), 1.0, 1e-2);
+}
+
+TEST(ClipGradNorm, RejectsNonPositiveMaxNorm) {
+  auto g = TensorH::Full(Shape("x", {2}), 1.0f);
+  EXPECT_THROW(ClipGradNorm({&g}, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xflow::transformer

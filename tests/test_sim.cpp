@@ -1,0 +1,162 @@
+#include "sim/kernel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/calibration.hpp"
+
+namespace xflow::sim {
+namespace {
+
+class GpuModelTest : public ::testing::Test {
+ protected:
+  GpuModel model_{DeviceSpec::V100()};
+};
+
+TEST_F(GpuModelTest, LargeGemmReachesPaperUtilization) {
+  // Q/K/V fused projection: M=3072, N=4096, K=1024 -> paper: 56-62% peak.
+  GemmExtents e{.m = 3072, .n = 4096, .k = 1024, .batch = 1};
+  const auto t = model_.Contraction(e, {.algorithm = 0, .layout_factor = 1.0});
+  EXPECT_GT(t.pct_peak, 50.0);
+  EXPECT_LT(t.pct_peak, 70.0);
+  EXPECT_FALSE(t.memory_bound);
+}
+
+TEST_F(GpuModelTest, ShallowBatchedGemmUnderutilizesTensorCores) {
+  // QKT: per-head M=N=512, K=64, batch=128 -> paper: 16-27% peak.
+  GemmExtents e{.m = 512, .n = 512, .k = 64, .batch = 128};
+  const auto t = model_.Contraction(e, {.algorithm = 0, .layout_factor = 1.0});
+  EXPECT_GT(t.pct_peak, 12.0);
+  EXPECT_LT(t.pct_peak, 30.0);
+}
+
+TEST_F(GpuModelTest, DeepContractionsBeatShallowOnes) {
+  // Property: utilization increases monotonically with K depth.
+  double prev = 0;
+  for (std::int64_t k : {32, 64, 128, 512, 1024, 4096}) {
+    GemmExtents e{.m = 1024, .n = 1024, .k = k, .batch = 1};
+    const double u = model_.TensorCoreUtilization(e);
+    EXPECT_GT(u, prev) << "K=" << k;
+    prev = u;
+  }
+}
+
+TEST_F(GpuModelTest, TensorCoresBeatFp16UnitsOnLargeGemms) {
+  GemmExtents e{.m = 4096, .n = 4096, .k = 1024, .batch = 1};
+  const auto tc = model_.Contraction(e, {.tensor_cores = true, .algorithm = 0});
+  const auto fp =
+      model_.Contraction(e, {.tensor_cores = false, .algorithm = 0});
+  EXPECT_LT(tc.time_us, fp.time_us / 2.0);
+}
+
+TEST_F(GpuModelTest, NarrowGemmsCloseGapToFp16Units) {
+  // Paper Fig. 4: when one dim is 64 tensor cores barely beat the FPUs.
+  GemmExtents e{.m = 512, .n = 64, .k = 512, .batch = 128};
+  const auto tc = model_.Contraction(e, {.tensor_cores = true, .algorithm = 0});
+  const auto fp =
+      model_.Contraction(e, {.tensor_cores = false, .algorithm = 0});
+  EXPECT_LT(tc.time_us, fp.time_us);          // still ahead...
+  EXPECT_GT(tc.time_us, fp.time_us * 0.35);   // ...but much less than 3x
+}
+
+TEST_F(GpuModelTest, HeuristicAlgorithmIsSometimesSuboptimal) {
+  // Sec. V-A: the built-in heuristic was up to 14.24% worse than the best.
+  int suboptimal = 0;
+  double worst_gap = 0;
+  for (std::int64_t m : {512, 1024, 2048, 4096}) {
+    for (std::int64_t k : {64, 512, 1024, 4096}) {
+      GemmExtents e{.m = m, .n = 1024, .k = k, .batch = 1};
+      const int chosen = model_.HeuristicAlgorithm(e);
+      double best = 0;
+      for (int a = 0; a < kNumGemmAlgorithms; ++a) {
+        best = std::max(best, model_.AlgorithmFactor(e, a));
+      }
+      const double gap = 1.0 - model_.AlgorithmFactor(e, chosen) / best;
+      worst_gap = std::max(worst_gap, gap);
+      suboptimal += gap > 1e-12;
+    }
+  }
+  EXPECT_GT(suboptimal, 0);
+  EXPECT_LT(worst_gap, 0.16);  // bounded like the paper's 14.24%
+}
+
+TEST_F(GpuModelTest, SomeAlgorithmsDoubleFlop) {
+  // Sec. VI-C: some library GEMM algorithms perform 2x the necessary flop.
+  int doubled = 0;
+  for (std::int64_t m : {512, 1024, 2048, 3072, 4096}) {
+    for (int a = 0; a < kNumGemmAlgorithms; ++a) {
+      GemmExtents e{.m = m, .n = 1024, .k = 1024, .batch = 1};
+      doubled += model_.AlgorithmDoublesFlop(e, a);
+    }
+  }
+  EXPECT_GT(doubled, 0);
+  EXPECT_LT(doubled, 12);  // pathological, not the norm
+}
+
+TEST_F(GpuModelTest, MemoryBoundKernelScalesWithBytes) {
+  MemoryConfig cfg{.bandwidth_frac = 0.8};
+  const auto small = model_.MemoryBoundKernel(1e6, 1e6, 1e5, cfg);
+  const auto big = model_.MemoryBoundKernel(1e8, 1e8, 1e7, cfg);
+  EXPECT_GT(big.time_us, 25 * small.time_us);  // sublinear only via launch cost
+  EXPECT_TRUE(big.memory_bound);
+}
+
+TEST_F(GpuModelTest, MueHundredWhenMovingExactlyTheMinimumAtPeak) {
+  MemoryConfig cfg{.bandwidth_frac = 1.0, .kernel_launches = 0};
+  // kernel_launches=0 removes launch overhead; frac clamps to 0.92.
+  const auto t = model_.MemoryBoundKernel(1e9, 1e9, 0, cfg);
+  EXPECT_NEAR(t.mue, 92.0, 1.0);
+}
+
+TEST_F(GpuModelTest, ExtraTrafficLowersMue) {
+  MemoryConfig cfg{.bandwidth_frac = 0.9};
+  const auto lean = model_.MemoryBoundKernel(1e8, 1e8, 0, cfg);
+  const auto fat = model_.MemoryBoundKernel(1e8, 4e8, 0, cfg);
+  EXPECT_GT(lean.mue, 2.5 * fat.mue);
+}
+
+TEST_F(GpuModelTest, MovingLessThanMinimumIsRejected) {
+  EXPECT_THROW(model_.MemoryBoundKernel(1e6, 1e5, 0, {}), InvalidArgument);
+}
+
+TEST_F(GpuModelTest, ContractionMueStaysUnderFiftyPercent)
+{
+  // Paper Sec. IV-B: attained MUE for tensor contractions is consistently
+  // under 50% -- they are compute-bound, not bandwidth-starved.
+  for (std::int64_t m : {1024, 3072, 4096}) {
+    GemmExtents e{.m = m, .n = 4096, .k = 1024, .batch = 1};
+    const auto t = model_.Contraction(e, {.algorithm = 0});
+    EXPECT_LT(t.mue, 50.0);
+    EXPECT_FALSE(t.memory_bound);
+  }
+}
+
+TEST(Calibration, TunedKernelsCoverThePaperSet) {
+  for (const char* name : {"AIB", "SM", "DRLN", "BRD", "BDRLN", "BSB",
+                           "BLNRD", "BDRB", "EBSB", "BS", "BEI", "BAOB",
+                           "BAIB"}) {
+    const double f = TunedKernelBandwidthFrac(name);
+    EXPECT_GT(f, 0.0) << name;
+    EXPECT_LE(f, 0.92) << name;
+  }
+  EXPECT_THROW(TunedKernelBandwidthFrac("NOPE"), InvalidArgument);
+}
+
+TEST(Calibration, ReductionKernelsAreSlowerThanStreamingKernels) {
+  // Physical sanity: per-column reductions achieve far less bandwidth.
+  EXPECT_LT(TunedKernelBandwidthFrac("BSB"), TunedKernelBandwidthFrac("BEI"));
+  EXPECT_LT(FrameworkBandwidthFrac(graph::OpKind::kLayerNormDW),
+            FrameworkBandwidthFrac(graph::OpKind::kDropout));
+}
+
+TEST(Calibration, FrameworkKernelsNeverBeatTunedOnes) {
+  using graph::OpKind;
+  EXPECT_LE(FrameworkBandwidthFrac(OpKind::kBias),
+            TunedKernelBandwidthFrac("AIB"));
+  EXPECT_LE(FrameworkBandwidthFrac(OpKind::kScaledSoftmax),
+            TunedKernelBandwidthFrac("SM"));
+  EXPECT_LE(FrameworkBandwidthFrac(OpKind::kLayerNormDW),
+            TunedKernelBandwidthFrac("BSB"));
+}
+
+}  // namespace
+}  // namespace xflow::sim

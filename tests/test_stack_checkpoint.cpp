@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "transformer/checkpoint.hpp"
+#include "transformer/stack.hpp"
+
+namespace xflow::transformer {
+namespace {
+
+EncoderConfig StackConfig() {
+  EncoderConfig cfg;
+  cfg.dims = graph::ModelDims::Tiny();
+  cfg.dropout_prob = 0.0f;
+  return cfg;
+}
+
+TEST(EncoderStack, ForwardChainsLayers) {
+  EncoderStack stack(StackConfig(), 3, 1);
+  auto dims = StackConfig().dims;
+  auto x = TensorH::Random(Shape("ibj", {dims.i, dims.b, dims.j}), 2);
+  std::vector<EncoderActivations> acts;
+  const auto& y = stack.Forward(x, acts);
+  ASSERT_EQ(acts.size(), 3u);
+  // Each layer's input is the previous layer's output.
+  EXPECT_EQ(MaxAbsDiff(acts[1].x, acts[0].y), 0.0);
+  EXPECT_EQ(MaxAbsDiff(acts[2].x, acts[1].y), 0.0);
+  EXPECT_EQ(MaxAbsDiff(y, acts[2].y), 0.0);
+}
+
+TEST(EncoderStack, StackOfOneEqualsSingleLayer) {
+  auto cfg = StackConfig();
+  EncoderStack stack(cfg, 1, 7);
+  auto dims = cfg.dims;
+  auto x = TensorH::Random(Shape("ibj", {dims.i, dims.b, dims.j}), 3);
+  std::vector<EncoderActivations> acts;
+  stack.Forward(x, acts);
+
+  cfg.seed = cfg.seed;  // layer 0 uses the same seed
+  EncoderLayer single(cfg, EncoderParams::Init(dims, 7));
+  EncoderActivations single_acts;
+  single.Forward(x, single_acts);
+  EXPECT_EQ(MaxAbsDiff(acts[0].y, single_acts.y), 0.0);
+}
+
+TEST(EncoderStack, BackwardReturnsInputGradient) {
+  EncoderStack stack(StackConfig(), 2, 11);
+  auto dims = StackConfig().dims;
+  auto x = TensorH::Random(Shape("ibj", {dims.i, dims.b, dims.j}), 5);
+  std::vector<EncoderActivations> acts;
+  stack.Forward(x, acts);
+  auto d_y = TensorH::Random(acts.back().y.shape(), 6);
+  std::vector<EncoderGradients> grads;
+  auto d_x = stack.Backward(d_y, acts, grads);
+  ASSERT_EQ(grads.size(), 2u);
+  EXPECT_EQ(d_x.shape().names(), "ibj");
+  EXPECT_EQ(MaxAbsDiff(d_x, grads[0].d_x), 0.0);
+  // Layer 1's input gradient feeds layer 0's backward.
+  EXPECT_GT(MaxAbsDiff(grads[1].d_x, d_y), 0.0);
+}
+
+TEST(EncoderStack, NamedParamsArePrefixedAndComplete) {
+  EncoderStack stack(StackConfig(), 2, 13);
+  const auto named = stack.NamedParams();
+  EXPECT_EQ(named.size(), 2u * 12u);  // 12 parameters per layer
+  EXPECT_EQ(named.front().first, "layer0.w_qkv");
+  EXPECT_EQ(named.back().first, "layer1.ln2_b");
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_ = "/tmp/xflow_ckpt_test.bin";
+};
+
+TEST_F(CheckpointTest, RoundTripsBitExactly) {
+  auto a = TensorH::Random(Shape("phi", {4, 2, 8}), 1);
+  auto b = TensorH::Random(Shape("i", {8}), 2);
+  SaveCheckpoint(path_, {{"a", &a}, {"b", &b}});
+
+  TensorH a2(Shape("phi", {4, 2, 8})), b2(Shape("i", {8}));
+  LoadCheckpoint(path_, {{"a", &a2}, {"b", &b2}});
+  for (std::int64_t e = 0; e < a.size(); ++e) {
+    EXPECT_EQ(a.data()[e].bits(), a2.data()[e].bits());
+  }
+  EXPECT_EQ(MaxAbsDiff(b, b2), 0.0);
+}
+
+TEST_F(CheckpointTest, LoadIsOrderInsensitive) {
+  auto a = TensorH::Random(Shape("x", {4}), 3);
+  auto b = TensorH::Random(Shape("y", {5}), 4);
+  SaveCheckpoint(path_, {{"a", &a}, {"b", &b}});
+  TensorH a2(Shape("x", {4})), b2(Shape("y", {5}));
+  LoadCheckpoint(path_, {{"b", &b2}, {"a", &a2}});  // reversed order
+  EXPECT_EQ(MaxAbsDiff(a, a2), 0.0);
+  EXPECT_EQ(MaxAbsDiff(b, b2), 0.0);
+}
+
+TEST_F(CheckpointTest, MissingTensorAndShapeMismatchThrow) {
+  auto a = TensorH::Random(Shape("x", {4}), 5);
+  SaveCheckpoint(path_, {{"a", &a}});
+  TensorH wrong_shape(Shape("x", {5}));
+  EXPECT_THROW(LoadCheckpoint(path_, {{"a", &wrong_shape}}),
+               InvalidArgument);
+  TensorH missing(Shape("x", {4}));
+  EXPECT_THROW(LoadCheckpoint(path_, {{"nope", &missing}}),
+               InvalidArgument);
+}
+
+TEST_F(CheckpointTest, RejectsGarbageFiles) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  TensorH t(Shape("x", {4}));
+  EXPECT_THROW(LoadCheckpoint(path_, {{"a", &t}}), InvalidArgument);
+}
+
+TEST_F(CheckpointTest, InspectListsContents) {
+  auto a = TensorH::Random(Shape("phi", {4, 2, 8}), 6);
+  SaveCheckpoint(path_, {{"weights", &a}});
+  const auto listing = InspectCheckpoint(path_);
+  ASSERT_EQ(listing.size(), 1u);
+  EXPECT_EQ(listing[0].first, "weights");
+  EXPECT_EQ(listing[0].second.names(), "phi");
+  EXPECT_EQ(listing[0].second.extent('i'), 8);
+}
+
+TEST_F(CheckpointTest, FullStackRoundTrip) {
+  EncoderStack stack(StackConfig(), 2, 17);
+  std::vector<std::pair<std::string, const TensorH*>> to_save;
+  for (auto& [name, t] : stack.NamedParams()) to_save.emplace_back(name, t);
+  SaveCheckpoint(path_, to_save);
+
+  EncoderStack restored(StackConfig(), 2, 99);  // different init
+  LoadCheckpoint(path_, restored.NamedParams());
+
+  auto dims = StackConfig().dims;
+  auto x = TensorH::Random(Shape("ibj", {dims.i, dims.b, dims.j}), 18);
+  std::vector<EncoderActivations> a1, a2;
+  stack.Forward(x, a1);
+  restored.Forward(x, a2);
+  EXPECT_EQ(MaxAbsDiff(a1.back().y, a2.back().y), 0.0);
+}
+
+}  // namespace
+}  // namespace xflow::transformer

@@ -1,0 +1,111 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tensor/shape.hpp"
+
+namespace xflow {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s("phb", {64, 16, 8});
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.names(), "phb");
+  EXPECT_EQ(s.extent('p'), 64);
+  EXPECT_EQ(s.extent('h'), 16);
+  EXPECT_EQ(s.num_elements(), 64 * 16 * 8);
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape s("abc", {2, 3, 4});
+  EXPECT_EQ(s.stride('c'), 1);
+  EXPECT_EQ(s.stride('b'), 4);
+  EXPECT_EQ(s.stride('a'), 12);
+}
+
+TEST(Shape, PermutedKeepsExtents) {
+  Shape s("abc", {2, 3, 4});
+  Shape p = s.Permuted("cab");
+  EXPECT_EQ(p.names(), "cab");
+  EXPECT_EQ(p.extent('a'), 2);
+  EXPECT_EQ(p.stride('c'), 6);  // now outermost
+  EXPECT_EQ(p.stride('b'), 1);
+}
+
+TEST(Shape, RejectsDuplicateNames) {
+  EXPECT_THROW(Shape("aab", {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Shape, RejectsNonPositiveExtent) {
+  EXPECT_THROW(Shape("ab", {2, 0}), InvalidArgument);
+}
+
+TEST(Shape, AllPermutationsCount) {
+  EXPECT_EQ(AllPermutations("ab").size(), 2u);
+  EXPECT_EQ(AllPermutations("abc").size(), 6u);
+  EXPECT_EQ(AllPermutations("abcd").size(), 24u);
+}
+
+TEST(Shape, ForEachIndexVisitsAllOnce) {
+  Shape s("xy", {3, 5});
+  int count = 0;
+  std::int64_t checksum = 0;
+  ForEachIndex(s, [&](std::span<const std::int64_t> idx) {
+    ++count;
+    checksum += idx[0] * 5 + idx[1];
+  });
+  EXPECT_EQ(count, 15);
+  EXPECT_EQ(checksum, 14 * 15 / 2);  // sum of 0..14
+}
+
+TEST(Tensor, AtMatchesLinearLayout) {
+  TensorF t("ab", {2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) t.data()[i] = static_cast<float>(i);
+  EXPECT_EQ(t.at({{'a', 1}, {'b', 2}}), 5.0f);
+  EXPECT_EQ(t.at({{'a', 0}, {'b', 1}}), 1.0f);
+}
+
+TEST(Tensor, PermutedPreservesLogicalValues) {
+  auto t = TensorF::Random(Shape("abc", {3, 4, 5}), 1);
+  auto p = t.Permuted("cba");
+  for (std::int64_t a = 0; a < 3; ++a) {
+    for (std::int64_t b = 0; b < 4; ++b) {
+      for (std::int64_t c = 0; c < 5; ++c) {
+        EXPECT_EQ(t.at({{'a', a}, {'b', b}, {'c', c}}),
+                  p.at({{'a', a}, {'b', b}, {'c', c}}));
+      }
+    }
+  }
+  EXPECT_EQ(MaxAbsDiff(t, p), 0.0);
+}
+
+TEST(Tensor, PermutedRoundTripIsIdentity) {
+  auto t = TensorH::Random(Shape("pbhj", {4, 3, 2, 5}), 7);
+  auto round = t.Permuted("jhbp").Permuted("pbhj");
+  EXPECT_EQ(MaxAbsDiff(t, round), 0.0);
+  EXPECT_EQ(round.dim_order(), "pbhj");
+}
+
+TEST(Tensor, RandomIsDeterministic) {
+  auto a = TensorF::Random(Shape("x", {100}), 5);
+  auto b = TensorF::Random(Shape("x", {100}), 5);
+  EXPECT_EQ(MaxAbsDiff(a, b), 0.0);
+}
+
+TEST(Tensor, CastToHalfRounds) {
+  TensorF t("x", {1});
+  t.data()[0] = 1.0f + std::ldexp(1.0f, -12);  // below fp16 resolution
+  auto h = t.Cast<Half>();
+  EXPECT_EQ(float(h.data()[0]), 1.0f);
+}
+
+TEST(Tensor, MaxAbsDiffDetectsDifference) {
+  auto a = TensorF::Full(Shape("xy", {2, 2}), 1.0f);
+  auto b = TensorF::Full(Shape("xy", {2, 2}), 1.0f);
+  b.data()[3] = 1.5f;
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 0.5);
+}
+
+}  // namespace
+}  // namespace xflow

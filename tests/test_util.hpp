@@ -1,0 +1,51 @@
+// Shared test helpers: finite-difference gradient checking.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace xflow::testutil {
+
+/// Central-difference numerical gradient of scalar `loss` w.r.t. `param`.
+/// `loss` must be a pure function of the current contents of `param`.
+inline TensorF NumericalGradient(TensorF& param,
+                                 const std::function<double()>& loss,
+                                 float eps = 1e-3f) {
+  TensorF grad(param.shape());
+  for (std::int64_t i = 0; i < param.size(); ++i) {
+    const float saved = param.data()[i];
+    param.data()[i] = saved + eps;
+    const double up = loss();
+    param.data()[i] = saved - eps;
+    const double down = loss();
+    param.data()[i] = saved;
+    grad.data()[i] = static_cast<float>((up - down) / (2.0 * eps));
+  }
+  return grad;
+}
+
+/// Scalar probe loss: weighted sum of a tensor's elements with fixed
+/// pseudo-random weights (makes every output element matter).
+inline double ProbeLoss(const TensorF& t, std::uint64_t seed = 99) {
+  Philox4x32 gen(seed);
+  double sum = 0;
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    sum += static_cast<double>(t.data()[i]) *
+           (static_cast<double>(gen.UniformAt(static_cast<std::uint64_t>(i))) -
+            0.5);
+  }
+  return sum;
+}
+
+/// The probe loss's gradient w.r.t. the tensor (for seeding backward passes).
+inline TensorF ProbeLossGrad(const Shape& shape, std::uint64_t seed = 99) {
+  Philox4x32 gen(seed);
+  TensorF g(shape);
+  for (std::int64_t i = 0; i < g.size(); ++i) {
+    g.data()[i] = gen.UniformAt(static_cast<std::uint64_t>(i)) - 0.5f;
+  }
+  return g;
+}
+
+}  // namespace xflow::testutil
