@@ -3,11 +3,49 @@
 // GEMMs vs one stacked Q/K/V GEMM (shared X operand -> better reuse).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "common/threadpool.hpp"
 #include "tensor/einsum.hpp"
+#include "tensor/gemm.hpp"
 
 namespace {
 
 using namespace xflow;
+
+std::vector<std::int64_t> Offsets(std::int64_t n, std::int64_t stride) {
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = i * stride;
+  return v;
+}
+
+// The headline kernel benchmark: square fp32 GEMM straight through
+// GemmOffsets. Thread count follows XFLOW_THREADS (the pool is created on
+// first use), e.g.:
+//   XFLOW_THREADS=1 ./micro_gemm --benchmark_filter=BM_GemmFp32/512
+//   XFLOW_THREADS=4 ./micro_gemm --benchmark_filter=BM_GemmFp32/512
+void BM_GemmFp32(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  std::vector<float> a(static_cast<std::size_t>(dim * dim));
+  std::vector<float> b(static_cast<std::size_t>(dim * dim));
+  std::vector<float> c(static_cast<std::size_t>(dim * dim));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(i % 13) * 0.1f;
+    b[i] = static_cast<float>(i % 7) * 0.2f;
+  }
+  const auto row = Offsets(dim, dim);
+  const auto col = Offsets(dim, 1);
+  for (auto _ : state) {
+    GemmOffsets<float, float>(a.data(), b.data(), c.data(), row, col, row,
+                              col, row, col, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * dim * dim * dim);
+  state.SetLabel("threads=" +
+                 std::to_string(ThreadPool::Global().threads()));
+}
+BENCHMARK(BM_GemmFp32)->Arg(128)->Arg(256)->Arg(512)->UseRealTime();
 
 void BM_EinsumProjection(benchmark::State& state) {
   // Scaled-down projection: [p,h,i] x [i,b,j] -> [p,h,b,j].

@@ -3,13 +3,14 @@
 // synthetic token sequence. Demonstrates the paper's claim that decoder
 // models (GPT-2/3) reuse the same building blocks (Sec. VIII).
 //
-//   ./gpt_decoder [--layers=2] [--steps=40] [--vocab=17]
+//   ./gpt_decoder [--layers=2] [--steps=40] [--vocab=17] [--threads=N]
 #include <cstdio>
 #include <map>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/strings.hpp"
+#include "common/threadpool.hpp"
 #include "tensor/einsum.hpp"
 #include "transformer/embedding.hpp"
 #include "transformer/stack.hpp"
@@ -22,6 +23,10 @@ int main(int argc, char** argv) {
   const int layers = static_cast<int>(args.GetInt("layers", 2));
   const int steps = static_cast<int>(args.GetInt("steps", 40));
   const std::int64_t vocab = args.GetInt("vocab", 17);
+  if (args.Has("threads")) {
+    ThreadPool::SetGlobalThreads(
+        static_cast<int>(args.GetInt("threads", 1)));
+  }
 
   graph::ModelDims dims;
   dims.b = 2;

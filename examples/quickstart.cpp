@@ -1,16 +1,29 @@
 // Quickstart: build a BERT encoder layer, run forward + backward on the
 // CPU substrate, and ask the device model what the same schedule costs on
 // a V100 -- the three public API layers of this library in ~80 lines.
+//
+//   ./quickstart [--threads=N]   (or XFLOW_THREADS=N ./quickstart)
 #include <chrono>
 #include <cstdio>
 
 #include "baselines/plans.hpp"
+#include "common/cli.hpp"
+#include "common/threadpool.hpp"
 #include "transformer/encoder.hpp"
 #include "transformer/training.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xflow;
   using Clock = std::chrono::steady_clock;
+
+  // All einsum/GEMM calls below run on the global pool; --threads
+  // overrides the XFLOW_THREADS env var, which overrides the core count.
+  const ArgParser args(argc, argv);
+  if (args.Has("threads")) {
+    ThreadPool::SetGlobalThreads(
+        static_cast<int>(args.GetInt("threads", 1)));
+  }
+  std::printf("xflow threads: %d\n", ThreadPool::Global().threads());
 
   // 1. A small encoder layer (the full BERT-large dims also work; they are
   //    just slow on a CPU). Dimension names follow the paper.

@@ -1,0 +1,169 @@
+#include "common/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xflow {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+// True on a thread currently coordinating a ParallelFor; a nested call
+// from that thread must run inline rather than republish a job on the
+// already-busy pool.
+thread_local bool t_in_parallel = false;
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int EnvThreads() {
+  const char* env = std::getenv("XFLOW_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v < 1 || v > 1024) return 0;  // malformed: ignore
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex run_mu;  // held by the thread coordinating the current job
+  std::mutex mu;
+  std::condition_variable work_cv;   // workers wait here for a new job
+  std::condition_variable done_cv;   // ParallelFor waits here for completion
+  std::vector<std::thread> workers;
+
+  // Current job, published under mu and identified by a generation counter
+  // so every worker runs each job exactly once.
+  std::uint64_t generation = 0;
+  const std::function<void(std::int64_t)>* fn = nullptr;
+  std::int64_t n = 0;
+  std::int64_t grain = 1;
+  std::atomic<std::int64_t> next{0};
+  int workers_left = 0;  // workers that have not finished the current job
+  bool shutdown = false;
+
+  void RunChunks() {
+    while (true) {
+      const std::int64_t begin = next.fetch_add(grain);
+      if (begin >= n) return;
+      const std::int64_t end = std::min(begin + grain, n);
+      for (std::int64_t i = begin; i < end; ++i) (*fn)(i);
+    }
+  }
+
+  void WorkerLoop() {
+    t_in_worker = true;
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+      }
+      RunChunks();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--workers_left == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads)
+    : impl_(new Impl), threads_(std::max(1, threads)) {
+  impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::ParallelFor(std::int64_t n, std::int64_t grain,
+                             const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  // Inline fallback: single-threaded pool, nested call from a worker or a
+  // coordinating thread, or a loop that fits in one chunk anyway.
+  if (threads_ == 1 || t_in_worker || t_in_parallel || n <= grain) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Only one top-level loop can own the workers; a concurrent caller on
+  // another application thread falls back to inline execution rather
+  // than clobbering the in-flight job state.
+  std::unique_lock<std::mutex> run_lock(impl_->run_mu, std::try_to_lock);
+  if (!run_lock.owns_lock()) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  t_in_parallel = true;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->fn = &fn;
+    impl_->n = n;
+    impl_->grain = grain;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->workers_left = static_cast<int>(impl_->workers.size());
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+  impl_->RunChunks();  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] { return impl_->workers_left == 0; });
+    impl_->fn = nullptr;
+  }
+  t_in_parallel = false;
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+namespace {
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+}  // namespace
+
+int ThreadPool::ResolveGlobalThreads() {
+  const int env = EnvThreads();
+  return env > 0 ? env : HardwareThreads();
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(ResolveGlobalThreads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int threads) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global_pool = std::make_unique<ThreadPool>(std::max(1, threads));
+}
+
+void ParallelFor(std::int64_t n, std::int64_t grain,
+                 const std::function<void(std::int64_t)>& fn) {
+  ThreadPool::Global().ParallelFor(n, grain, fn);
+}
+
+}  // namespace xflow

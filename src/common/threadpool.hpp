@@ -1,0 +1,62 @@
+// Persistent thread pool for data-parallel loops over independent work items.
+//
+// The pool is deliberately simple -- no work stealing, no futures: a single
+// ParallelFor primitive hands out contiguous index chunks from an atomic
+// cursor, which is all the GEMM macro-tile grid and batched einsum loops
+// need. Determinism contract: ParallelFor only changes *which thread* runs
+// an index, never the work done for that index, so any kernel whose items
+// are independent produces bit-identical results at every thread count.
+//
+// Thread count resolution order: SetGlobalThreads() (e.g. a --threads CLI
+// flag) > XFLOW_THREADS environment variable > hardware concurrency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace xflow {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; the caller of ParallelFor is the final
+  /// participant. `threads < 1` is clamped to 1 (inline execution, no
+  /// workers).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, n), distributing chunks of `grain`
+  /// consecutive indices across the workers plus the calling thread, and
+  /// blocks until all n invocations have returned. Runs inline (no
+  /// handoff) when the loop is too small to split, the pool has one
+  /// thread, or the caller is itself a pool worker -- nested ParallelFor
+  /// therefore serializes instead of deadlocking.
+  void ParallelFor(std::int64_t n, std::int64_t grain,
+                   const std::function<void(std::int64_t)>& fn);
+
+  /// True when called from inside a ParallelFor worker thread.
+  static bool InWorker();
+
+  /// Process-wide pool, created on first use with the resolved thread
+  /// count (see header comment for the resolution order).
+  static ThreadPool& Global();
+  /// Rebuilds the global pool with `threads` workers (clamped to >= 1).
+  /// Not safe concurrently with ParallelFor on the global pool.
+  static void SetGlobalThreads(int threads);
+  /// Thread count the global pool would use if created now.
+  static int ResolveGlobalThreads();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int threads_;
+};
+
+/// Shorthand for ThreadPool::Global().ParallelFor(n, grain, fn).
+void ParallelFor(std::int64_t n, std::int64_t grain,
+                 const std::function<void(std::int64_t)>& fn);
+
+}  // namespace xflow

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/strings.hpp"
+#include "common/threadpool.hpp"
 #include "tensor/gemm.hpp"
 
 namespace xflow {
@@ -131,10 +132,27 @@ void EinsumInto(const EinsumSpec& spec, const Tensor<T>& a, const Tensor<T>& b,
   const auto a_k = OffsetTable(spec.k_dims, a.shape(), a.shape());
   const auto b_k = OffsetTable(spec.k_dims, a.shape(), b.shape());
 
-  for (std::size_t batch = 0; batch < a_batch.size(); ++batch) {
-    GemmOffsets<T, T>(a.data() + a_batch[batch], b.data() + b_batch[batch],
-                      out.data() + c_batch[batch], a_m, a_k, b_k, b_n, c_m,
-                      c_n, alpha, beta);
+  // Batched GEMMs write disjoint output slices, so they can run on the
+  // pool directly; but when each GEMM has enough macro-tiles to cover the
+  // pool by itself, tile-level parallelism balances better than a few
+  // coarse batch tasks, so the batch loop stays serial (GemmOffsets runs
+  // inline when called from a pool worker). Either path performs the same
+  // per-tile arithmetic, so results do not depend on thread count.
+  const auto batches = static_cast<std::int64_t>(a_batch.size());
+  auto run_one = [&](std::int64_t batch) {
+    const auto i = static_cast<std::size_t>(batch);
+    GemmOffsets<T, T>(a.data() + a_batch[i], b.data() + b_batch[i],
+                      out.data() + c_batch[i], a_m, a_k, b_k, b_n, c_m, c_n,
+                      alpha, beta);
+  };
+  const std::int64_t threads = ThreadPool::Global().threads();
+  const std::int64_t tiles_per_gemm =
+      GemmTileCount(static_cast<std::int64_t>(a_m.size()),
+                    static_cast<std::int64_t>(b_n.size()));
+  if (batches > 1 && (batches >= threads || tiles_per_gemm < threads)) {
+    ParallelFor(batches, 1, run_one);
+  } else {
+    for (std::int64_t batch = 0; batch < batches; ++batch) run_one(batch);
   }
 }
 

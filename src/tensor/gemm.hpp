@@ -6,6 +6,12 @@
 // tables: the caller provides, for each of M/N/K, the memory offset of every
 // index along that axis, which uniformly encodes any transposition or
 // multi-dimensional flattening.
+//
+// Execution is parallel over the M x N macro-tile grid using the global
+// ThreadPool (see common/threadpool.hpp; XFLOW_THREADS controls the count).
+// Each output tile is computed start-to-finish by one thread with
+// thread-local pack buffers and a fixed ascending-k accumulation order, so
+// results are bitwise identical at every thread count.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,11 @@
 #include "common/half.hpp"
 
 namespace xflow {
+
+/// Number of independent macro-tiles GemmOffsets runs for an M x N output
+/// -- the unit of intra-GEMM parallelism. Callers with many independent
+/// GEMMs (batched einsum) use this to decide which level to parallelize.
+std::int64_t GemmTileCount(std::int64_t m, std::int64_t n);
 
 /// C[c_m[m] + c_n[n]] = alpha * sum_k A[a_m[m] + a_k[k]] * B[b_k[k] + b_n[n]]
 ///                      + beta * C[...]

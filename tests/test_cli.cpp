@@ -44,8 +44,8 @@ TEST(Cli, PositionalArgumentsPreserved) {
 
 TEST(Cli, MalformedNumbersThrow) {
   auto p = Parse({"--batch=eight", "--lr=fast"});
-  EXPECT_THROW(p.GetInt("batch", 1), InvalidArgument);
-  EXPECT_THROW(p.GetDouble("lr", 1.0), InvalidArgument);
+  EXPECT_THROW((void)p.GetInt("batch", 1), InvalidArgument);
+  EXPECT_THROW((void)p.GetDouble("lr", 1.0), InvalidArgument);
 }
 
 TEST(Cli, UnknownOptionDetection) {

@@ -1,0 +1,196 @@
+// Bitwise determinism of the parallel GEMM: the macro-tile grid may be
+// executed by any number of threads, but every output element must come out
+// identical to the single-threaded run, across dtypes, ragged extents and
+// strided (transposed) operand layouts.
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+
+namespace xflow {
+namespace {
+
+std::vector<std::int64_t> Iota(std::int64_t n, std::int64_t stride) {
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = i * stride;
+  }
+  return v;
+}
+
+std::vector<float> RandomFloats(std::int64_t n, std::uint64_t seed) {
+  Philox4x32 gen(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        gen.UniformAt(static_cast<std::uint64_t>(i)) - 0.5f;
+  }
+  return v;
+}
+
+std::vector<Half> RandomHalves(std::int64_t n, std::uint64_t seed) {
+  const auto f = RandomFloats(n, seed);
+  return {f.begin(), f.end()};
+}
+
+template <typename T>
+bool BitwiseEqual(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+}
+
+/// Runs C = alpha*A*B + beta*C on row-major operands at the given thread
+/// count and returns the raw output buffer.
+template <typename TIn, typename TOut>
+std::vector<TOut> RunRowMajor(const std::vector<TIn>& a,
+                              const std::vector<TIn>& b, std::int64_t m,
+                              std::int64_t n, std::int64_t k, int threads,
+                              float alpha = 1.0f, float beta = 0.0f) {
+  ThreadPool::SetGlobalThreads(threads);
+  // Pre-fill C deterministically so beta != 0 paths are exercised.
+  std::vector<TOut> c(static_cast<std::size_t>(m * n));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = TOut(static_cast<float>(i % 17) * 0.25f);
+  }
+  const auto a_m = Iota(m, k), a_k = Iota(k, 1);
+  const auto b_k = Iota(k, n), b_n = Iota(n, 1);
+  const auto c_m = Iota(m, n), c_n = Iota(n, 1);
+  GemmOffsets<TIn, TOut>(a.data(), b.data(), c.data(), a_m, a_k, b_k, b_n,
+                         c_m, c_n, alpha, beta);
+  return c;
+}
+
+struct Extents {
+  std::int64_t m, n, k;
+};
+
+// Block sizes in gemm.cpp are MB=64, NB=96, KB=256 with an 8x16 register
+// tile; the ragged cases straddle every one of those boundaries.
+const Extents kCases[] = {
+    {1, 1, 1},      {3, 5, 7},      {4, 16, 1},    {64, 96, 256},
+    {65, 97, 257},  {63, 95, 255},  {130, 50, 40}, {30, 200, 33},
+    {128, 192, 64}, {17, 113, 300},
+};
+
+class GemmThreadedDeterminism : public ::testing::Test {
+ protected:
+  ~GemmThreadedDeterminism() override {
+    ThreadPool::SetGlobalThreads(ThreadPool::ResolveGlobalThreads());
+  }
+};
+
+TEST_F(GemmThreadedDeterminism, Fp32BitwiseAcrossThreadCounts) {
+  for (const auto& e : kCases) {
+    const auto a = RandomFloats(e.m * e.k, 1);
+    const auto b = RandomFloats(e.k * e.n, 2);
+    const auto ref =
+        RunRowMajor<float, float>(a, b, e.m, e.n, e.k, /*threads=*/1);
+    for (int threads : {2, 4, 8}) {
+      const auto got = RunRowMajor<float, float>(a, b, e.m, e.n, e.k, threads);
+      EXPECT_TRUE(BitwiseEqual(ref, got))
+          << "m=" << e.m << " n=" << e.n << " k=" << e.k
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(GemmThreadedDeterminism, Fp16BitwiseAcrossThreadCounts) {
+  for (const auto& e : kCases) {
+    const auto a = RandomHalves(e.m * e.k, 3);
+    const auto b = RandomHalves(e.k * e.n, 4);
+    const auto ref =
+        RunRowMajor<Half, Half>(a, b, e.m, e.n, e.k, /*threads=*/1);
+    for (int threads : {2, 8}) {
+      const auto got = RunRowMajor<Half, Half>(a, b, e.m, e.n, e.k, threads);
+      EXPECT_TRUE(BitwiseEqual(ref, got))
+          << "m=" << e.m << " n=" << e.n << " k=" << e.k
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(GemmThreadedDeterminism, MixedFp16InFp32OutBitwise) {
+  for (const auto& e : kCases) {
+    const auto a = RandomHalves(e.m * e.k, 5);
+    const auto b = RandomHalves(e.k * e.n, 6);
+    const auto ref =
+        RunRowMajor<Half, float>(a, b, e.m, e.n, e.k, /*threads=*/1);
+    const auto got = RunRowMajor<Half, float>(a, b, e.m, e.n, e.k, 8);
+    EXPECT_TRUE(BitwiseEqual(ref, got))
+        << "m=" << e.m << " n=" << e.n << " k=" << e.k;
+  }
+}
+
+TEST_F(GemmThreadedDeterminism, AlphaBetaBitwiseAcrossThreadCounts) {
+  const auto a = RandomFloats(65 * 130, 7);
+  const auto b = RandomFloats(130 * 97, 8);
+  const auto ref = RunRowMajor<float, float>(a, b, 65, 97, 130, 1, 0.5f, 2.0f);
+  const auto got = RunRowMajor<float, float>(a, b, 65, 97, 130, 8, 0.5f, 2.0f);
+  EXPECT_TRUE(BitwiseEqual(ref, got));
+}
+
+TEST_F(GemmThreadedDeterminism, TransposedLayoutsBitwiseAcrossThreadCounts) {
+  // A stored column-major (a_m stride 1, a_k stride m) and B stored
+  // column-major (b_k stride 1, b_n stride k): the offset tables encode
+  // the transposition, packing must still be deterministic.
+  const std::int64_t m = 70, n = 110, k = 90;
+  const auto a = RandomFloats(m * k, 9);
+  const auto b = RandomFloats(k * n, 10);
+  const auto a_m = Iota(m, 1), a_k = Iota(k, m);
+  const auto b_k = Iota(k, 1), b_n = Iota(n, k);
+  const auto c_m = Iota(m, n), c_n = Iota(n, 1);
+  auto run = [&](int threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+    GemmOffsets<float, float>(a.data(), b.data(), c.data(), a_m, a_k, b_k,
+                              b_n, c_m, c_n, 1.0f, 0.0f);
+    return c;
+  };
+  const auto ref = run(1);
+  EXPECT_TRUE(BitwiseEqual(ref, run(4)));
+  EXPECT_TRUE(BitwiseEqual(ref, run(8)));
+}
+
+TEST_F(GemmThreadedDeterminism, MatchesNaiveReferenceWithinTolerance) {
+  // Guards against the parallel rewrite computing the *wrong* product
+  // deterministically: check against a naive triple loop.
+  const std::int64_t m = 33, n = 47, k = 129;
+  const auto a = RandomFloats(m * k, 11);
+  const auto b = RandomFloats(k * n, 12);
+  const auto got = RunRowMajor<float, float>(a, b, m, n, k, 8);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float want = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) {
+        want += a[static_cast<std::size_t>(i * k + p)] *
+                b[static_cast<std::size_t>(p * n + j)];
+      }
+      ASSERT_NEAR(want, got[static_cast<std::size_t>(i * n + j)],
+                  1e-4f * static_cast<float>(k))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_F(GemmThreadedDeterminism, EmptyKZeroesOrScalesOutput) {
+  // k = 0: C must become beta * C (and exactly 0 when beta = 0).
+  ThreadPool::SetGlobalThreads(4);
+  const std::int64_t m = 8, n = 8;
+  std::vector<float> a, b;
+  std::vector<float> c(static_cast<std::size_t>(m * n), 3.0f);
+  const auto c_m = Iota(m, n), c_n = Iota(n, 1);
+  const std::vector<std::int64_t> empty;
+  GemmOffsets<float, float>(a.data(), b.data(), c.data(), c_m, empty, empty,
+                            c_n, c_m, c_n, 1.0f, 0.5f);
+  for (float v : c) EXPECT_EQ(v, 1.5f);
+}
+
+}  // namespace
+}  // namespace xflow

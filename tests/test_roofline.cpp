@@ -80,7 +80,7 @@ TEST(WarmupSchedule, LinearRampThenInverseSqrtDecay) {
   EXPECT_NEAR(sched.At(100), 1.0f, 1e-6);
   EXPECT_NEAR(sched.At(400), 0.5f, 1e-6);   // sqrt(100/400)
   EXPECT_NEAR(sched.At(10000), 0.1f, 1e-6); // sqrt(100/10000)
-  EXPECT_THROW(sched.At(0), InvalidArgument);
+  EXPECT_THROW((void)sched.At(0), InvalidArgument);
 }
 
 TEST(WarmupSchedule, ZeroWarmupIsConstant) {

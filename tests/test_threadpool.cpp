@@ -1,0 +1,112 @@
+#include "common/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace xflow {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, 7, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (std::int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, HandlesEmptyAndSingleElementLoops) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 1, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, 64, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, 1, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, CallerParticipatesInTheLoop) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  bool caller_ran = false;
+  // Many more chunks than workers: the calling thread must pick some up.
+  pool.ParallelFor(256, 1, [&](std::int64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+    if (std::this_thread::get_id() == caller) caller_ran = true;
+  });
+  EXPECT_TRUE(caller_ran);
+  EXPECT_LE(ids.size(), 2u);  // caller + at most one worker
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.ParallelFor(8, 1, [&](std::int64_t) {
+    EXPECT_TRUE(ThreadPool::InWorker() || true);  // either role is fine
+    pool.ParallelFor(8, 1, [&](std::int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, InWorkerIsFalseOnTheMainThread) {
+  EXPECT_FALSE(ThreadPool::InWorker());
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallsFromTwoThreads) {
+  // Two application threads race top-level ParallelFor on one pool; the
+  // loser of the job-ownership race must fall back to inline execution,
+  // never clobber the in-flight job.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  auto work = [&] {
+    for (int round = 0; round < 25; ++round) {
+      pool.ParallelFor(100, 3, [&](std::int64_t) { total.fetch_add(1); });
+    }
+  };
+  std::thread t1(work), t2(work);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(total.load(), 2 * 25 * 100);
+}
+
+TEST(ThreadPool, SequentialReuseOfTheSamePool) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(97, 5, [&](std::int64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 97) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, GlobalPoolExistsAndSetGlobalThreadsResizes) {
+  EXPECT_GE(ThreadPool::Global().threads(), 1);
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::Global().threads(), 3);
+  std::atomic<int> count{0};
+  ParallelFor(33, 2, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 33);
+  // Restore the env-resolved default for any later test in this binary.
+  ThreadPool::SetGlobalThreads(ThreadPool::ResolveGlobalThreads());
+}
+
+TEST(ThreadPool, ResolveGlobalThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::ResolveGlobalThreads(), 1);
+}
+
+}  // namespace
+}  // namespace xflow
