@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/strings.hpp"
 
@@ -18,6 +20,59 @@ inline void Banner(const std::string& experiment, const std::string& title) {
 
 inline void PaperNote(const std::string& note) {
   std::printf("paper reference: %s\n\n", note.c_str());
+}
+
+// ------------------------------------------------------------- perf JSON
+//
+// The micro-kernel benches can dump their results as a machine-readable
+// baseline (BENCH_ops.json) so perf changes are trackable across PRs.
+
+/// One measured kernel configuration.
+struct KernelBenchResult {
+  std::string name;  // benchmark name, including args (e.g. "/256")
+  double ns = 0.0;   // wall time per iteration, nanoseconds
+  double gbps = 0.0; // achieved bandwidth, GB/s (0 when not reported)
+};
+
+/// Consumes a `--json[=path]` flag from argv (so it never reaches the
+/// benchmark library's flag parser). Returns the output path, empty when
+/// the flag is absent; the bare flag defaults to BENCH_ops.json.
+inline std::string ConsumeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0) {
+      path = "BENCH_ops.json";
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return path;
+}
+
+/// Writes the collected results as a JSON array of
+/// {"name", "ns_per_iter", "gb_per_s"} rows.
+inline void WriteKernelBenchJson(const std::string& path,
+                                 const std::vector<KernelBenchResult>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"ns_per_iter\": %.1f, "
+                 "\"gb_per_s\": %.3f}%s\n",
+                 rows[i].name.c_str(), rows[i].ns, rows[i].gbps,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("bench: wrote %zu results to %s\n", rows.size(), path.c_str());
 }
 
 }  // namespace xflow::bench

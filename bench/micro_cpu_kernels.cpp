@@ -1,11 +1,21 @@
-// Real CPU measurements: fused kernels vs their unfused pipelines.
+// Real CPU measurements: fused kernels vs their unfused pipelines, plus
+// roofline-comparable numbers for the memory-bound kernels.
 //
 // The GPU results come from the device model; these google-benchmark
 // timings demonstrate the same data-movement effect on real hardware --
 // single-pass fused kernels beat multi-pass pipelines because they touch
-// memory fewer times.
+// memory fewer times. Every case calls SetBytesProcessed with the kernel's
+// compulsory traffic (operands read once + outputs written once), so the
+// reported bytes_per_second is an achieved-bandwidth figure comparable
+// against the machine's memory roofline, like the GEMM flop/s number.
+//
+// The softmax / layernorm / BDRLN cases also sweep the thread count (the
+// trailing /1 and /8 argument), measuring how the parallel ops layer
+// scales; `--json[=path]` dumps all results as a perf baseline.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+#include "common/threadpool.hpp"
 #include "ops/elementwise.hpp"
 #include "ops/fused.hpp"
 #include "ops/layernorm.hpp"
@@ -21,7 +31,17 @@ constexpr std::int64_t kI = 256, kB = 4, kJ = 64;  // medium working set
 const Shape kIbj("bji", {kB, kJ, kI});
 const Shape kBj("bj", {kB, kJ});
 
+/// Pins the global pool to `threads` for the duration of one benchmark.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int threads) { ThreadPool::SetGlobalThreads(threads); }
+  ~ThreadGuard() {
+    ThreadPool::SetGlobalThreads(ThreadPool::ResolveGlobalThreads());
+  }
+};
+
 void BM_UnfusedBiasDropoutResidualLayerNorm(benchmark::State& state) {
+  ThreadGuard threads(static_cast<int>(state.range(0)));
   auto x = TensorH::Random(kIbj, 1);
   auto bias = TensorH::Random(Shape("i", {kI}), 2);
   auto resid_in = TensorH::Random(kIbj, 3);
@@ -39,9 +59,11 @@ void BM_UnfusedBiasDropoutResidualLayerNorm(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * kIbj.num_elements() * 2 * 8);
 }
-BENCHMARK(BM_UnfusedBiasDropoutResidualLayerNorm);
+BENCHMARK(BM_UnfusedBiasDropoutResidualLayerNorm)
+    ->ArgName("threads")->Arg(1)->Arg(8)->UseRealTime();
 
 void BM_FusedBDRLN(benchmark::State& state) {
+  ThreadGuard threads(static_cast<int>(state.range(0)));
   auto x = TensorH::Random(kIbj, 1);
   auto bias = TensorH::Random(Shape("i", {kI}), 2);
   auto resid_in = TensorH::Random(kIbj, 3);
@@ -55,11 +77,13 @@ void BM_FusedBDRLN(benchmark::State& state) {
                                       'i', 1e-5f, resid, m, y, mean, rstd);
     benchmark::DoNotOptimize(y.data());
   }
+  // Read x + resid_in, write resid + mask + y.
   state.SetBytesProcessed(state.iterations() * kIbj.num_elements() * 2 * 5);
 }
-BENCHMARK(BM_FusedBDRLN);
+BENCHMARK(BM_FusedBDRLN)->ArgName("threads")->Arg(1)->Arg(8)->UseRealTime();
 
 void BM_UnfusedBiasReluDropout(benchmark::State& state) {
+  ThreadGuard threads(static_cast<int>(state.range(0)));
   const Shape ubj("ubj", {1024, kB, kJ});
   auto x = TensorH::Random(ubj, 1);
   auto bias = TensorH::Random(Shape("u", {1024}), 2);
@@ -71,10 +95,13 @@ void BM_UnfusedBiasReluDropout(benchmark::State& state) {
     ops::DropoutForward(relu, mask, y, m);
     benchmark::DoNotOptimize(y.data());
   }
+  state.SetBytesProcessed(state.iterations() * ubj.num_elements() * 2 * 7);
 }
-BENCHMARK(BM_UnfusedBiasReluDropout);
+BENCHMARK(BM_UnfusedBiasReluDropout)
+    ->ArgName("threads")->Arg(1)->Arg(8)->UseRealTime();
 
 void BM_FusedBRD(benchmark::State& state) {
+  ThreadGuard threads(static_cast<int>(state.range(0)));
   const Shape ubj("ubj", {1024, kB, kJ});
   auto x = TensorH::Random(ubj, 1);
   auto bias = TensorH::Random(Shape("u", {1024}), 2);
@@ -84,10 +111,32 @@ void BM_FusedBRD(benchmark::State& state) {
     ops::BiasReluDropout(x, bias, mask, relu, y, m);
     benchmark::DoNotOptimize(y.data());
   }
+  // Read x, write relu_saved + y + mask.
+  state.SetBytesProcessed(state.iterations() * ubj.num_elements() * 2 * 4);
 }
-BENCHMARK(BM_FusedBRD);
+BENCHMARK(BM_FusedBRD)
+    ->ArgName("threads")->Arg(1)->Arg(8)->UseRealTime();
+
+void BM_SoftmaxForward(benchmark::State& state) {
+  ThreadGuard threads(static_cast<int>(state.range(1)));
+  const Shape hbjk("hbjk", {8, 2, 64, state.range(0)});
+  auto x = TensorH::Random(hbjk, 1);
+  TensorH y(hbjk);
+  for (auto _ : state) {
+    ops::SoftmaxForward(x, 'k', y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  // Read x, write y.
+  state.SetBytesProcessed(state.iterations() * hbjk.num_elements() * 2 * 2);
+}
+BENCHMARK(BM_SoftmaxForward)
+    ->ArgNames({"k", "threads"})
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->UseRealTime();
 
 void BM_ScaledSoftmax(benchmark::State& state) {
+  ThreadGuard threads(static_cast<int>(state.range(1)));
   const Shape hbjk("hbjk", {8, 2, 64, state.range(0)});
   auto beta = TensorH::Random(hbjk, 1);
   DropoutMask mask(11, 0.1f);
@@ -96,12 +145,41 @@ void BM_ScaledSoftmax(benchmark::State& state) {
     ops::ScaledSoftmaxForward(beta, 'k', 0.125f, mask, alpha, m, saved);
     benchmark::DoNotOptimize(alpha.data());
   }
+  // Read beta, write alpha + mask + saved softmax (Table III: outputs are
+  // 3x the input volume).
+  state.SetBytesProcessed(state.iterations() * hbjk.num_elements() * 2 * 4);
 }
-BENCHMARK(BM_ScaledSoftmax)->Arg(64)->Arg(256)->Arg(512);
+BENCHMARK(BM_ScaledSoftmax)
+    ->ArgNames({"k", "threads"})
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Args({512, 1})
+    ->Args({512, 8})
+    ->UseRealTime();
+
+void BM_LayerNormForward(benchmark::State& state) {
+  ThreadGuard threads(static_cast<int>(state.range(0)));
+  auto x = TensorH::Random(kIbj, 1);
+  auto gamma = TensorH::Random(Shape("i", {kI}), 2);
+  auto beta = TensorH::Random(Shape("i", {kI}), 3);
+  TensorH y(kIbj);
+  TensorF mean(kBj), rstd(kBj);
+  for (auto _ : state) {
+    ops::LayerNormForward(x, gamma, beta, 'i', 1e-5f, y, mean, rstd);
+    benchmark::DoNotOptimize(y.data());
+  }
+  // Read x, write y.
+  state.SetBytesProcessed(state.iterations() * kIbj.num_elements() * 2 * 2);
+}
+BENCHMARK(BM_LayerNormForward)->ArgName("threads")->Arg(1)->Arg(8)->UseRealTime();
 
 void BM_LayerNormLayoutSensitivity(benchmark::State& state) {
   // Layout matters on CPUs too: normalizing over a strided dim thrashes
-  // the cache once the working set exceeds L2 (here ~8 MB).
+  // the cache once the working set exceeds L2 (here ~8 MB). Pinned to one
+  // thread so the contiguous-vs-strided ratio (and the baseline JSON rows)
+  // stay comparable across hosts.
+  ThreadGuard pin(1);
   const bool contiguous = state.range(0) != 0;
   const Shape big("bji", {8, 256, 2048});
   auto x = TensorH::Random(big, 1);
@@ -114,11 +192,55 @@ void BM_LayerNormLayoutSensitivity(benchmark::State& state) {
     ops::LayerNormForward(x, gamma, beta, 'i', 1e-5f, y, mean, rstd);
     benchmark::DoNotOptimize(y.data());
   }
+  state.SetBytesProcessed(state.iterations() * big.num_elements() * 2 * 2);
 }
 BENCHMARK(BM_LayerNormLayoutSensitivity)
     ->Arg(1)   // i innermost (contiguous reduction)
     ->Arg(0);  // i strided (non-contiguous reduction)
 
+/// Google Benchmark renamed Run::error_occurred to Run::skipped in v1.8;
+/// probe for whichever member this library version has.
+template <typename R>
+auto RunFailed(const R& run, int) -> decltype(run.error_occurred) {
+  return run.error_occurred;
+}
+template <typename R>
+bool RunFailed(const R& run, long) {
+  return static_cast<bool>(run.skipped);
+}
+
+/// Console reporter that also collects (name, ns, GB/s) rows for --json.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (RunFailed(run, 0)) continue;
+      bench::KernelBenchResult row;
+      row.name = run.benchmark_name();
+      row.ns = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) {
+        row.gbps = static_cast<double>(it->second) * 1e-9;
+      }
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<bench::KernelBenchResult> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = xflow::bench::ConsumeJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    xflow::bench::WriteKernelBenchJson(json_path, reporter.rows);
+  }
+  return 0;
+}

@@ -1,40 +1,86 @@
-// Shared kernel plumbing: 4-deep nested loops over a padded dimension list.
+// Shared kernel-execution engine for the memory-bound operators.
+//
+// Every kernel in src/ops/ runs through the drivers in this header instead
+// of hand-rolled loop nests. The iteration space is always a padded 4-deep
+// loop (LoopDims); the outer three dims form independent *rows* and the
+// fourth (innermost) dim is walked entirely by the thread that owns the
+// row. Rows are partitioned over the persistent thread pool, which makes
+// the whole ops layer scale with cores while keeping results bitwise
+// identical at every thread count:
+//
+//  * ParallelRows -- map kernels. Each output element is written by
+//    exactly one thread and the per-element arithmetic does not depend on
+//    the partitioning, so any grain is deterministic.
+//  * ParallelReduceRows -- cross-row reductions (bias gradients, dgamma /
+//    dbeta). Rows are split into a *fixed* number of chunks derived only
+//    from the row count (never the thread count); each chunk accumulates
+//    its rows in order into a private fp32 partial, and partials are
+//    combined in chunk order. The floating-point summation tree is
+//    therefore a pure function of the loop extents, so results are bitwise
+//    stable across thread counts *and* fused kernels match their unfused
+//    pipelines exactly (both iterate the same extents).
+//
+// The Row accessor provides the contiguous-innermost fast path: kernels
+// dispatch once per call on "is every innermost stride 1" and the unit
+// variant compiles to a plain pointer walk the vectorizer can handle,
+// instead of a strided multiply per element.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
 
+#include "common/threadpool.hpp"
 #include "ops/iter.hpp"
 
 namespace xflow::ops::detail {
 
-/// Loop dimensions of a kernel: the output's dims in memory order, padded to
-/// four entries ('\0' with extent 1).
+/// Loop dimensions of a kernel: up to four named dims plus '\0'-named
+/// padding of extent 1. Padding slots bind to stride 0 in every View and
+/// contribute index 0, so where they sit never changes the elements
+/// visited -- only which slots form rows.
 struct LoopDims {
   std::array<char, 4> names{};
   std::array<std::int64_t, 4> extents{1, 1, 1, 1};
 };
 
+/// Loop over the output's dims in memory order, right-aligned so the
+/// output's innermost (contiguous) dim always lands in the fourth slot and
+/// padding occupies the outer slots. Rows then have the full memory-order
+/// width of the tensor, which is what the fast path wants.
 inline LoopDims LoopOverOutput(const Shape& out_shape) {
   require(out_shape.rank() <= 4, "kernels support rank <= 4");
   LoopDims ld;
   const auto& dims = out_shape.dims();
+  const std::size_t pad = 4 - dims.size();
   for (std::size_t d = 0; d < dims.size(); ++d) {
-    ld.names[d] = dims[d].name;
-    ld.extents[d] = dims[d].extent;
+    ld.names[pad + d] = dims[d].name;
+    ld.extents[pad + d] = dims[d].extent;
   }
   return ld;
 }
 
-template <typename Fn>
-inline void For4(const std::array<std::int64_t, 4>& e, Fn&& fn) {
-  for (std::int64_t a = 0; a < e[0]; ++a) {
-    for (std::int64_t b = 0; b < e[1]; ++b) {
-      for (std::int64_t c = 0; c < e[2]; ++c) {
-        for (std::int64_t d = 0; d < e[3]; ++d) fn(a, b, c, d);
-      }
-    }
+/// Loop with `inner_dim` pinned to the fourth slot and the remaining dims
+/// of `shape` in memory order in slots 0..2. Reduction-then-map kernels
+/// (softmax, layernorm, the fused LN family) use this so the reduced dim
+/// is walked by one thread while rows parallelize.
+inline LoopDims LoopWithInnermost(const Shape& shape, char inner_dim) {
+  require(shape.rank() <= 4, "kernels support rank <= 4");
+  require(shape.has(inner_dim), "tensor lacks the innermost loop dimension");
+  LoopDims ld;
+  std::size_t slot = 0;
+  for (const auto& d : shape.dims()) {
+    if (d.name == inner_dim) continue;
+    ld.names[slot] = d.name;
+    ld.extents[slot] = d.extent;
+    ++slot;
   }
+  ld.names[3] = inner_dim;
+  ld.extents[3] = shape.extent(inner_dim);
+  return ld;
 }
 
 template <typename T>
@@ -46,6 +92,147 @@ inline std::int64_t Off(const View<T, 4>& v, std::int64_t a, std::int64_t b,
 inline std::int64_t Dot(const std::array<std::int64_t, 4>& s, std::int64_t a,
                         std::int64_t b, std::int64_t c, std::int64_t d) {
   return a * s[0] + b * s[1] + c * s[2] + d * s[3];
+}
+
+/// Strided row accessor: base pointer for a fixed (a, b, c) plus the
+/// innermost stride. The kUnit specialization is the contiguous fast path
+/// -- a literal p[d] the compiler can vectorize.
+template <bool kUnit, typename T>
+struct Row {
+  T* p;
+  std::int64_t s;
+  T& operator[](std::int64_t d) const {
+    if constexpr (kUnit) {
+      return p[d];
+    } else {
+      return p[d * s];
+    }
+  }
+};
+
+template <bool kUnit, typename T>
+inline Row<kUnit, T> RowOf(const View<T, 4>& v, std::int64_t a,
+                           std::int64_t b, std::int64_t c) {
+  return {v.ptr + a * v.stride[0] + b * v.stride[1] + c * v.stride[2],
+          v.stride[3]};
+}
+
+/// True when every given view walks the innermost loop at unit stride.
+/// Pass only the views that should gate the fast path: operands that may
+/// broadcast along the innermost dim (stride 0, e.g. a bias whose dim is
+/// not the output's innermost) should instead keep a Row<false> accessor,
+/// so they don't forfeit the fast path for everything else; mean/rstd
+/// style views read only at d = 0 are addressed via Off directly.
+template <typename... V>
+inline bool UnitInner(const V&... v) {
+  return ((v.stride[3] == 1) && ...);
+}
+
+/// Runs fn(std::true_type) when `unit`, fn(std::false_type) otherwise, so
+/// a kernel's row body is compiled twice and the contiguous variant keeps
+/// no per-element stride arithmetic.
+template <typename Fn>
+inline void DispatchUnit(bool unit, Fn&& fn) {
+  if (unit) {
+    fn(std::true_type{});
+  } else {
+    fn(std::false_type{});
+  }
+}
+
+inline std::int64_t RowsOf(const std::array<std::int64_t, 4>& e) {
+  return e[0] * e[1] * e[2];
+}
+
+/// Target work-item size handed to the pool: chunks of rows totalling at
+/// least this many innermost elements, so dispatch overhead stays
+/// negligible for skinny rows. Grain only changes which thread runs a row,
+/// never the arithmetic, so it is determinism-neutral.
+constexpr std::int64_t kRowGrainElems = 2048;
+
+/// Runs fn(a, b, c) for every row, partitioned over the global pool. The
+/// body owns the entire innermost loop of its row.
+template <typename Fn>
+inline void ParallelRows(const std::array<std::int64_t, 4>& e, Fn&& fn) {
+  const std::int64_t rows = RowsOf(e);
+  if (rows <= 0) return;
+  const std::int64_t grain = std::max<std::int64_t>(
+      1, kRowGrainElems / std::max<std::int64_t>(1, e[3]));
+  const std::int64_t bc = e[1] * e[2];
+  xflow::ParallelFor(rows, grain, [&](std::int64_t r) {
+    fn(r / bc, (r % bc) / e[2], r % e[2]);
+  });
+}
+
+/// Fixed chunk count for deterministic reductions: a pure function of the
+/// row count (never the thread count or pool state), so the combine tree
+/// is identical for every run over the same extents.
+inline std::int64_t ReduceChunks(std::int64_t rows) {
+  constexpr std::int64_t kMaxChunks = 64;
+  return std::min<std::int64_t>(rows, kMaxChunks);
+}
+
+/// Deterministic parallel reduction over rows into a caller-zeroed fp32
+/// accumulator. row_fn(a, b, c, acc) must fold one row into `acc` (and may
+/// also write row-exclusive outputs, e.g. a fused dX stream). Each fixed
+/// chunk of rows accumulates in row order into a private partial of
+/// acc.size() floats; partials are then added into `acc` in chunk order.
+/// Partials are padded out to cache-line multiples so concurrent chunks
+/// never false-share -- padding changes memory placement only, never the
+/// combine order, so it is determinism-neutral.
+template <typename RowFn>
+inline void ParallelReduceRows(const std::array<std::int64_t, 4>& e,
+                               std::span<float> acc, RowFn&& row_fn) {
+  const std::int64_t rows = RowsOf(e);
+  if (rows <= 0) return;
+  const std::int64_t bc = e[1] * e[2];
+  auto run_rows = [&](std::int64_t begin, std::int64_t end, float* partial) {
+    for (std::int64_t r = begin; r < end; ++r) {
+      row_fn(r / bc, (r % bc) / e[2], r % e[2], partial);
+    }
+  };
+  const std::int64_t chunks = ReduceChunks(rows);
+  if (chunks <= 1) {
+    run_rows(0, rows, acc.data());
+    return;
+  }
+  constexpr std::size_t kLineFloats = 64 / sizeof(float);
+  const std::size_t stride =
+      (acc.size() + kLineFloats - 1) / kLineFloats * kLineFloats;
+  std::vector<float> partials(static_cast<std::size_t>(chunks) * stride,
+                              0.0f);
+  xflow::ParallelFor(chunks, 1, [&](std::int64_t ci) {
+    run_rows(rows * ci / chunks, rows * (ci + 1) / chunks,
+             partials.data() + static_cast<std::size_t>(ci) * stride);
+  });
+  for (std::int64_t ci = 0; ci < chunks; ++ci) {
+    const float* p = partials.data() + static_cast<std::size_t>(ci) * stride;
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += p[i];
+  }
+}
+
+/// Shared bias-gradient reduction: folds dy over every dim the gradient
+/// view lacks (stride 0), accumulating part[extra_base + Off(dbv, ...)].
+/// One definition keeps the combine tree identical across BiasBackwardDW,
+/// the fused BDRB bias stream, and the stacked AttnInputBias gradient --
+/// which is what makes their fused==unfused bitwise matches hold.
+template <typename T>
+inline void ReduceBiasRows(const LoopDims& ld, const View<const T, 4>& dyv,
+                           const View<T, 4>& dbv, std::int64_t extra_base,
+                           std::span<float> acc) {
+  const std::int64_t n = ld.extents[3];
+  DispatchUnit(UnitInner(dyv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelReduceRows(ld.extents, acc,
+                       [&](std::int64_t a, std::int64_t b, std::int64_t c,
+                           float* part) {
+      const auto dyr = RowOf<kU>(dyv, a, b, c);
+      const std::int64_t base = extra_base + Off(dbv, a, b, c, 0);
+      for (std::int64_t d = 0; d < n; ++d) {
+        part[base + d * dbv.stride[3]] += float(dyr[d]);
+      }
+    });
+  });
 }
 
 }  // namespace xflow::ops::detail

@@ -1,13 +1,15 @@
 #include "ops/elementwise.hpp"
 
+#include <vector>
+
 #include "ops/detail.hpp"
 
 namespace xflow::ops {
 
 using detail::Dot;
-using detail::For4;
 using detail::LoopOverOutput;
-using detail::Off;
+using detail::ParallelRows;
+using detail::RowOf;
 
 template <typename T>
 void BiasForward(const Tensor<T>& x, const Tensor<T>& bias, Tensor<T>& y) {
@@ -15,9 +17,19 @@ void BiasForward(const Tensor<T>& x, const Tensor<T>& bias, Tensor<T>& y) {
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto bv = View<const T, 4>::Bind(bias, ld.names);
   auto yv = View<T, 4>::Bind(y, ld.names);
-  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-    yv.ptr[Off(yv, a, b, c, d)] = T(float(xv.ptr[Off(xv, a, b, c, d)]) +
-                                    float(bv.ptr[Off(bv, a, b, c, d)]));
+  const std::int64_t n = ld.extents[3];
+  // The bias may broadcast along the innermost dim (stride 0), so it keeps
+  // a strided accessor and stays out of the unit-stride dispatch.
+  detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto br = RowOf<false>(bv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      for (std::int64_t d = 0; d < n; ++d) {
+        yr[d] = T(float(xr[d]) + float(br[d]));
+      }
+    });
   });
 }
 
@@ -26,9 +38,17 @@ void ReluForward(const Tensor<T>& x, Tensor<T>& y) {
   const auto ld = LoopOverOutput(y.shape());
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto yv = View<T, 4>::Bind(y, ld.names);
-  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-    const float v = float(xv.ptr[Off(xv, a, b, c, d)]);
-    yv.ptr[Off(yv, a, b, c, d)] = T(v > 0.0f ? v : 0.0f);
+  const std::int64_t n = ld.extents[3];
+  detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      for (std::int64_t d = 0; d < n; ++d) {
+        const float v = float(xr[d]);
+        yr[d] = T(v > 0.0f ? v : 0.0f);
+      }
+    });
   });
 }
 
@@ -41,12 +61,21 @@ void DropoutForward(const Tensor<T>& x, const DropoutMask& mask, Tensor<T>& y,
   auto mv = View<T, 4>::Bind(mask_out, ld.names);
   const auto canon = CanonicalStrides(y.shape(), ld.names);
   const float scale = mask.Scale();
-  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-    const bool keep =
-        mask.Keep(static_cast<std::uint64_t>(Dot(canon, a, b, c, d)));
-    const float v = keep ? float(xv.ptr[Off(xv, a, b, c, d)]) * scale : 0.0f;
-    yv.ptr[Off(yv, a, b, c, d)] = T(v);
-    mv.ptr[Off(mv, a, b, c, d)] = T(keep ? 1.0f : 0.0f);
+  const std::int64_t n = ld.extents[3];
+  detail::DispatchUnit(detail::UnitInner(xv, yv, mv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      const auto mr = RowOf<kU>(mv, a, b, c);
+      const std::int64_t base = Dot(canon, a, b, c, 0);
+      for (std::int64_t d = 0; d < n; ++d) {
+        const bool keep =
+            mask.Keep(static_cast<std::uint64_t>(base + d * canon[3]));
+        yr[d] = T(keep ? float(xr[d]) * scale : 0.0f);
+        mr[d] = T(keep ? 1.0f : 0.0f);
+      }
+    });
   });
 }
 
@@ -56,9 +85,17 @@ void ResidualForward(const Tensor<T>& a, const Tensor<T>& b, Tensor<T>& y) {
   auto av = View<const T, 4>::Bind(a, ld.names);
   auto bv = View<const T, 4>::Bind(b, ld.names);
   auto yv = View<T, 4>::Bind(y, ld.names);
-  For4(ld.extents, [&](auto i, auto j, auto k, auto l) {
-    yv.ptr[Off(yv, i, j, k, l)] = T(float(av.ptr[Off(av, i, j, k, l)]) +
-                                    float(bv.ptr[Off(bv, i, j, k, l)]));
+  const std::int64_t n = ld.extents[3];
+  detail::DispatchUnit(detail::UnitInner(av, bv, yv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto i, auto j, auto k) {
+      const auto ar = RowOf<kU>(av, i, j, k);
+      const auto br = RowOf<kU>(bv, i, j, k);
+      const auto yr = RowOf<kU>(yv, i, j, k);
+      for (std::int64_t d = 0; d < n; ++d) {
+        yr[d] = T(float(ar[d]) + float(br[d]));
+      }
+    });
   });
 }
 
@@ -67,8 +104,16 @@ void ScaleForward(const Tensor<T>& x, float alpha, Tensor<T>& y) {
   const auto ld = LoopOverOutput(y.shape());
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto yv = View<T, 4>::Bind(y, ld.names);
-  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-    yv.ptr[Off(yv, a, b, c, d)] = T(alpha * float(xv.ptr[Off(xv, a, b, c, d)]));
+  const std::int64_t n = ld.extents[3];
+  detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      for (std::int64_t d = 0; d < n; ++d) {
+        yr[d] = T(alpha * float(xr[d]));
+      }
+    });
   });
 }
 
@@ -79,10 +124,7 @@ void BiasBackwardDW(const Tensor<T>& dy, Tensor<T>& db) {
   const auto ld = LoopOverOutput(dy.shape());
   auto dyv = View<const T, 4>::Bind(dy, ld.names);
   auto dbv = View<T, 4>::Bind(db, ld.names);  // stride 0 on reduced dims
-  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-    acc[static_cast<std::size_t>(Off(dbv, a, b, c, d))] +=
-        float(dyv.ptr[Off(dyv, a, b, c, d)]);
-  });
+  detail::ReduceBiasRows(ld, dyv, dbv, 0, acc);
   for (std::int64_t i = 0; i < db.size(); ++i) {
     db.data()[i] = T(acc[static_cast<std::size_t>(i)]);
   }
@@ -94,10 +136,18 @@ void ReluBackwardDX(const Tensor<T>& dy, const Tensor<T>& y, Tensor<T>& dx) {
   auto dyv = View<const T, 4>::Bind(dy, ld.names);
   auto yv = View<const T, 4>::Bind(y, ld.names);
   auto dxv = View<T, 4>::Bind(dx, ld.names);
-  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-    const bool active = float(yv.ptr[Off(yv, a, b, c, d)]) > 0.0f;
-    dxv.ptr[Off(dxv, a, b, c, d)] =
-        active ? dyv.ptr[Off(dyv, a, b, c, d)] : T(0.0f);
+  const std::int64_t n = ld.extents[3];
+  detail::DispatchUnit(detail::UnitInner(dyv, yv, dxv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto dyr = RowOf<kU>(dyv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      const auto dxr = RowOf<kU>(dxv, a, b, c);
+      for (std::int64_t d = 0; d < n; ++d) {
+        const bool active = float(yr[d]) > 0.0f;
+        dxr[d] = active ? dyr[d] : T(0.0f);
+      }
+    });
   });
 }
 
@@ -108,10 +158,17 @@ void DropoutBackwardDX(const Tensor<T>& dy, const Tensor<T>& mask,
   auto dyv = View<const T, 4>::Bind(dy, ld.names);
   auto mv = View<const T, 4>::Bind(mask, ld.names);
   auto dxv = View<T, 4>::Bind(dx, ld.names);
-  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-    dxv.ptr[Off(dxv, a, b, c, d)] =
-        T(float(dyv.ptr[Off(dyv, a, b, c, d)]) *
-          float(mv.ptr[Off(mv, a, b, c, d)]) * keep_scale);
+  const std::int64_t n = ld.extents[3];
+  detail::DispatchUnit(detail::UnitInner(dyv, mv, dxv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto dyr = RowOf<kU>(dyv, a, b, c);
+      const auto mr = RowOf<kU>(mv, a, b, c);
+      const auto dxr = RowOf<kU>(dxv, a, b, c);
+      for (std::int64_t d = 0; d < n; ++d) {
+        dxr[d] = T(float(dyr[d]) * float(mr[d]) * keep_scale);
+      }
+    });
   });
 }
 

@@ -8,9 +8,12 @@
 namespace xflow::ops {
 
 using detail::Dot;
-using detail::For4;
 using detail::LoopOverOutput;
+using detail::LoopWithInnermost;
 using detail::Off;
+using detail::ParallelReduceRows;
+using detail::ParallelRows;
+using detail::RowOf;
 
 template <typename T>
 void AttnInputBias(const std::array<const Tensor<T>*, 3>& inputs,
@@ -25,11 +28,21 @@ void AttnInputBias(const std::array<const Tensor<T>*, 3>& inputs,
     auto xv = View<const T, 4>::Bind(x, ld.names);
     auto bv = View<const T, 4>::Bind(stacked_bias, ld.names);
     auto yv = View<T, 4>::Bind(y, ld.names);
-    const T* bias_base =
-        bv.ptr + static_cast<std::int64_t>(s) * slice * bias_stride;
-    For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-      yv.ptr[Off(yv, a, b, c, d)] = T(float(xv.ptr[Off(xv, a, b, c, d)]) +
-                                      float(bias_base[Off(bv, a, b, c, d)]));
+    // Shift the bias view to this input's slice of the stack.
+    bv.ptr += static_cast<std::int64_t>(s) * slice * bias_stride;
+    const std::int64_t n = ld.extents[3];
+    // The stacked bias may broadcast along the innermost dim (stride 0),
+    // so it keeps a strided accessor and stays out of the unit dispatch.
+    detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
+      constexpr bool kU = decltype(unit)::value;
+      ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+        const auto xr = RowOf<kU>(xv, a, b, c);
+        const auto br = RowOf<false>(bv, a, b, c);
+        const auto yr = RowOf<kU>(yv, a, b, c);
+        for (std::int64_t d = 0; d < n; ++d) {
+          yr[d] = T(float(xr[d]) + float(br[d]));
+        }
+      });
     });
   }
 }
@@ -46,19 +59,32 @@ void BiasReluDropout(const Tensor<T>& x, const Tensor<T>& bias,
   auto mv = View<T, 4>::Bind(mask_out, ld.names);
   const auto canon = CanonicalStrides(y.shape(), ld.names);
   const float scale = mask.Scale();
-  For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-    float v = float(xv.ptr[Off(xv, a, b, c, d)]) +
-              float(bv.ptr[Off(bv, a, b, c, d)]);
-    v = v > 0.0f ? v : 0.0f;
-    // ReLU is saved in fp16, so the backward pass sees the rounded value:
-    // recompute the dropout from that rounded number, exactly as the
-    // separate-kernel pipeline would.
-    const T r = T(v);
-    rv.ptr[Off(rv, a, b, c, d)] = r;
-    const bool keep =
-        mask.Keep(static_cast<std::uint64_t>(Dot(canon, a, b, c, d)));
-    yv.ptr[Off(yv, a, b, c, d)] = T(keep ? float(r) * scale : 0.0f);
-    mv.ptr[Off(mv, a, b, c, d)] = T(keep ? 1.0f : 0.0f);
+  const std::int64_t n = ld.extents[3];
+  // The bias may broadcast along the innermost dim (stride 0; e.g. the FFN
+  // "ubj" layout with the bias over u), so it keeps a strided accessor.
+  detail::DispatchUnit(detail::UnitInner(xv, rv, yv, mv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto br = RowOf<false>(bv, a, b, c);
+      const auto rr = RowOf<kU>(rv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      const auto mr = RowOf<kU>(mv, a, b, c);
+      const std::int64_t base = Dot(canon, a, b, c, 0);
+      for (std::int64_t d = 0; d < n; ++d) {
+        float v = float(xr[d]) + float(br[d]);
+        v = v > 0.0f ? v : 0.0f;
+        // ReLU is saved in fp16, so the backward pass sees the rounded
+        // value: recompute the dropout from that rounded number, exactly as
+        // the separate-kernel pipeline would.
+        const T r = T(v);
+        rr[d] = r;
+        const bool keep =
+            mask.Keep(static_cast<std::uint64_t>(base + d * canon[3]));
+        yr[d] = T(keep ? float(r) * scale : 0.0f);
+        mr[d] = T(keep ? 1.0f : 0.0f);
+      }
+    });
   });
 }
 
@@ -73,18 +99,7 @@ void BiasDropoutResidualLayerNorm(const Tensor<T>& x, const Tensor<T>& bias,
                                   TensorF& ln_mean, TensorF& ln_rstd) {
   // Loop with norm_dim innermost so the reduction-then-map structure of the
   // paper's two-loop fused kernels applies directly.
-  require(y.shape().rank() <= 4, "rank <= 4");
-  detail::LoopDims ld;
-  std::size_t slot = 0;
-  for (const auto& dim : y.shape().dims()) {
-    if (dim.name == norm_dim) continue;
-    ld.names[slot] = dim.name;
-    ld.extents[slot] = dim.extent;
-    ++slot;
-  }
-  ld.names[3] = norm_dim;
-  ld.extents[3] = y.shape().extent(norm_dim);
-
+  const auto ld = LoopWithInnermost(y.shape(), norm_dim);
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto bv = View<const T, 4>::Bind(bias, ld.names);
   auto resinv = View<const T, 4>::Bind(residual_in, ld.names);
@@ -99,44 +114,47 @@ void BiasDropoutResidualLayerNorm(const Tensor<T>& x, const Tensor<T>& bias,
   const float scale = mask.Scale();
   const std::int64_t n = ld.extents[3];
   const float inv_n = 1.0f / static_cast<float>(n);
-
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        // Loop 1: bias + dropout + residual, accumulate moments.
-        float sum = 0, sum_sq = 0;
-        for (std::int64_t k = 0; k < n; ++k) {
-          // Match the unfused pipeline bit-for-bit: every interim that the
-          // separate-kernel pipeline would write to memory (biased value,
-          // dropout output) is rounded to T at the same point here.
-          const float biased =
-              float(T(float(xv.ptr[Off(xv, a, b, c, k)]) +
-                      float(bv.ptr[Off(bv, a, b, c, k)])));
-          const bool keep =
-              mask.Keep(static_cast<std::uint64_t>(Dot(canon, a, b, c, k)));
-          const float dropped = float(T(keep ? biased * scale : 0.0f));
-          const T resid =
-              T(dropped + float(resinv.ptr[Off(resinv, a, b, c, k)]));
-          resv.ptr[Off(resv, a, b, c, k)] = resid;
-          mv.ptr[Off(mv, a, b, c, k)] = T(keep ? 1.0f : 0.0f);
-          sum += float(resid);
-          sum_sq += float(resid) * float(resid);
-        }
-        const float mu = sum * inv_n;
-        const float var = std::max(sum_sq * inv_n - mu * mu, 0.0f);
-        const float rs = 1.0f / std::sqrt(var + eps);
-        meanv.ptr[Off(meanv, a, b, c, 0)] = mu;
-        rstdv.ptr[Off(rstdv, a, b, c, 0)] = rs;
-        // Loop 2: apply the normalization.
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float r = float(resv.ptr[Off(resv, a, b, c, k)]);
-          const float g = float(gv.ptr[Off(gv, a, b, c, k)]);
-          const float bb = float(betav.ptr[Off(betav, a, b, c, k)]);
-          yv.ptr[Off(yv, a, b, c, k)] = T((r - mu) * rs * g + bb);
-        }
+  detail::DispatchUnit(
+      detail::UnitInner(xv, bv, resinv, gv, betav, resv, mv, yv),
+      [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto br = RowOf<kU>(bv, a, b, c);
+      const auto resinr = RowOf<kU>(resinv, a, b, c);
+      const auto gr = RowOf<kU>(gv, a, b, c);
+      const auto betar = RowOf<kU>(betav, a, b, c);
+      const auto resr = RowOf<kU>(resv, a, b, c);
+      const auto mr = RowOf<kU>(mv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      const std::int64_t base = Dot(canon, a, b, c, 0);
+      // Loop 1: bias + dropout + residual, accumulate moments.
+      float sum = 0, sum_sq = 0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        // Match the unfused pipeline bit-for-bit: every interim that the
+        // separate-kernel pipeline would write to memory (biased value,
+        // dropout output) is rounded to T at the same point here.
+        const float biased = float(T(float(xr[k]) + float(br[k])));
+        const bool keep =
+            mask.Keep(static_cast<std::uint64_t>(base + k * canon[3]));
+        const float dropped = float(T(keep ? biased * scale : 0.0f));
+        const T resid = T(dropped + float(resinr[k]));
+        resr[k] = resid;
+        mr[k] = T(keep ? 1.0f : 0.0f);
+        sum += float(resid);
+        sum_sq += float(resid) * float(resid);
       }
-    }
-  }
+      const float mu = sum * inv_n;
+      const float var = std::max(sum_sq * inv_n - mu * mu, 0.0f);
+      const float rs = 1.0f / std::sqrt(var + eps);
+      meanv.ptr[Off(meanv, a, b, c, 0)] = mu;
+      rstdv.ptr[Off(rstdv, a, b, c, 0)] = rs;
+      // Loop 2: apply the normalization.
+      for (std::int64_t k = 0; k < n; ++k) {
+        yr[k] = T((float(resr[k]) - mu) * rs * float(gr[k]) + float(betar[k]));
+      }
+    });
+  });
 }
 
 template <typename T>
@@ -145,18 +163,7 @@ void LayerNormDropoutBackward(const Tensor<T>& dy, const Tensor<T>& ln_gamma,
                               const TensorF& rstd, const Tensor<T>& drop_mask,
                               char norm_dim, float keep_scale,
                               Tensor<T>& d_resid, Tensor<T>& d_out) {
-  require(d_out.shape().rank() <= 4, "rank <= 4");
-  detail::LoopDims ld;
-  std::size_t slot = 0;
-  for (const auto& dim : d_out.shape().dims()) {
-    if (dim.name == norm_dim) continue;
-    ld.names[slot] = dim.name;
-    ld.extents[slot] = dim.extent;
-    ++slot;
-  }
-  ld.names[3] = norm_dim;
-  ld.extents[3] = d_out.shape().extent(norm_dim);
-
+  const auto ld = LoopWithInnermost(d_out.shape(), norm_dim);
   auto dyv = View<const T, 4>::Bind(dy, ld.names);
   auto gv = View<const T, 4>::Bind(ln_gamma, ld.names);
   auto xv = View<const T, 4>::Bind(x_saved, ld.names);
@@ -167,36 +174,36 @@ void LayerNormDropoutBackward(const Tensor<T>& dy, const Tensor<T>& ln_gamma,
   auto dov = View<T, 4>::Bind(d_out, ld.names);
   const std::int64_t n = ld.extents[3];
   const float inv_n = 1.0f / static_cast<float>(n);
-
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
-        const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
-        float sum_g = 0, sum_gx = 0;
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float g = float(dyv.ptr[Off(dyv, a, b, c, k)]) *
-                          float(gv.ptr[Off(gv, a, b, c, k)]);
-          const float xhat =
-              (float(xv.ptr[Off(xv, a, b, c, k)]) - mu) * rs;
-          sum_g += g;
-          sum_gx += g * xhat;
-        }
-        const float mean_g = sum_g * inv_n;
-        const float mean_gx = sum_gx * inv_n;
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float g = float(dyv.ptr[Off(dyv, a, b, c, k)]) *
-                          float(gv.ptr[Off(gv, a, b, c, k)]);
-          const float xhat =
-              (float(xv.ptr[Off(xv, a, b, c, k)]) - mu) * rs;
-          const T dr = T(rs * (g - mean_g - xhat * mean_gx));
-          drv.ptr[Off(drv, a, b, c, k)] = dr;
-          dov.ptr[Off(dov, a, b, c, k)] =
-              T(float(dr) * float(mv.ptr[Off(mv, a, b, c, k)]) * keep_scale);
-        }
+  detail::DispatchUnit(detail::UnitInner(dyv, gv, xv, mv, drv, dov),
+                       [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto dyr = RowOf<kU>(dyv, a, b, c);
+      const auto gr = RowOf<kU>(gv, a, b, c);
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto mr = RowOf<kU>(mv, a, b, c);
+      const auto drr = RowOf<kU>(drv, a, b, c);
+      const auto dor = RowOf<kU>(dov, a, b, c);
+      const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+      const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+      float sum_g = 0, sum_gx = 0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float g = float(dyr[k]) * float(gr[k]);
+        const float xhat = (float(xr[k]) - mu) * rs;
+        sum_g += g;
+        sum_gx += g * xhat;
       }
-    }
-  }
+      const float mean_g = sum_g * inv_n;
+      const float mean_gx = sum_gx * inv_n;
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float g = float(dyr[k]) * float(gr[k]);
+        const float xhat = (float(xr[k]) - mu) * rs;
+        const T dr = T(rs * (g - mean_g - xhat * mean_gx));
+        drr[k] = dr;
+        dor[k] = T(float(dr) * float(mr[k]) * keep_scale);
+      }
+    });
+  });
 }
 
 template <typename T>
@@ -212,15 +219,13 @@ void BiasDropoutReluBiasBackward(const Tensor<T>& dy_hi,
     const auto ld = LoopOverOutput(dy_hi.shape());
     auto dyv = View<const T, 4>::Bind(dy_hi, ld.names);
     auto dbv = View<T, 4>::Bind(d_bias_hi, ld.names);
-    For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-      acc[static_cast<std::size_t>(Off(dbv, a, b, c, d))] +=
-          float(dyv.ptr[Off(dyv, a, b, c, d)]);
-    });
+    detail::ReduceBiasRows(ld, dyv, dbv, 0, acc);
     for (std::int64_t i = 0; i < d_bias_hi.size(); ++i) {
       d_bias_hi.data()[i] = T(acc[static_cast<std::size_t>(i)]);
     }
   }
   // Stream 2: dropout dX -> relu dX -> bias dW, without storing interims.
+  // The dX writes are row-exclusive, so they ride along with the reduction.
   {
     std::vector<float> acc(static_cast<std::size_t>(d_bias_lo.size()), 0.0f);
     const auto ld = LoopOverOutput(d_x_lo.shape());
@@ -229,16 +234,27 @@ void BiasDropoutReluBiasBackward(const Tensor<T>& dy_hi,
     auto rv = View<const T, 4>::Bind(relu_saved, ld.names);
     auto dxv = View<T, 4>::Bind(d_x_lo, ld.names);
     auto dbv = View<T, 4>::Bind(d_bias_lo, ld.names);
-    For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-      // Match unfused pipeline: dropout dX result is rounded to T before
-      // the ReLU gate, as it would be when written to memory.
-      const float dd = float(T(float(dyv.ptr[Off(dyv, a, b, c, d)]) *
-                               float(mv.ptr[Off(mv, a, b, c, d)]) *
-                               keep_scale));
-      const bool active = float(rv.ptr[Off(rv, a, b, c, d)]) > 0.0f;
-      const T dx = active ? T(dd) : T(0.0f);
-      dxv.ptr[Off(dxv, a, b, c, d)] = dx;
-      acc[static_cast<std::size_t>(Off(dbv, a, b, c, d))] += float(dx);
+    const std::int64_t n = ld.extents[3];
+    detail::DispatchUnit(detail::UnitInner(dyv, mv, rv, dxv), [&](auto unit) {
+      constexpr bool kU = decltype(unit)::value;
+      ParallelReduceRows(ld.extents, acc,
+                         [&](auto a, auto b, auto c, float* part) {
+        const auto dyr = RowOf<kU>(dyv, a, b, c);
+        const auto mr = RowOf<kU>(mv, a, b, c);
+        const auto rr = RowOf<kU>(rv, a, b, c);
+        const auto dxr = RowOf<kU>(dxv, a, b, c);
+        const std::int64_t base = Off(dbv, a, b, c, 0);
+        for (std::int64_t d = 0; d < n; ++d) {
+          // Match unfused pipeline: dropout dX result is rounded to T
+          // before the ReLU gate, as it would be when written to memory.
+          const float dd =
+              float(T(float(dyr[d]) * float(mr[d]) * keep_scale));
+          const bool active = float(rr[d]) > 0.0f;
+          const T dx = active ? T(dd) : T(0.0f);
+          dxr[d] = dx;
+          part[base + d * dbv.stride[3]] += float(dx);
+        }
+      });
     });
     for (std::int64_t i = 0; i < d_bias_lo.size(); ++i) {
       d_bias_lo.data()[i] = T(acc[static_cast<std::size_t>(i)]);
@@ -254,17 +270,7 @@ void ResidualLayerNormDwBackward(const Tensor<T>& da, const Tensor<T>& db,
                                  Tensor<T>& dbeta) {
   require(dgamma.shape().names() == std::string(1, norm_dim),
           "dgamma is 1-D over the normalized dimension");
-  detail::LoopDims ld;
-  std::size_t slot = 0;
-  for (const auto& dim : d_sum.shape().dims()) {
-    if (dim.name == norm_dim) continue;
-    ld.names[slot] = dim.name;
-    ld.extents[slot] = dim.extent;
-    ++slot;
-  }
-  ld.names[3] = norm_dim;
-  ld.extents[3] = d_sum.shape().extent(norm_dim);
-
+  const auto ld = LoopWithInnermost(d_sum.shape(), norm_dim);
   auto dav = View<const T, 4>::Bind(da, ld.names);
   auto dbv = View<const T, 4>::Bind(db, ld.names);
   auto xv = View<const T, 4>::Bind(x_saved, ld.names);
@@ -272,29 +278,32 @@ void ResidualLayerNormDwBackward(const Tensor<T>& da, const Tensor<T>& db,
   auto rstdv = View<const float, 4>::Bind(rstd, ld.names);
   auto dsv = View<T, 4>::Bind(d_sum, ld.names);
   const std::int64_t n = ld.extents[3];
-  std::vector<float> acc_g(static_cast<std::size_t>(n), 0.0f);
-  std::vector<float> acc_b(static_cast<std::size_t>(n), 0.0f);
-
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
-        const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
-        for (std::int64_t k = 0; k < n; ++k) {
-          const T ds = T(float(dav.ptr[Off(dav, a, b, c, k)]) +
-                         float(dbv.ptr[Off(dbv, a, b, c, k)]));
-          dsv.ptr[Off(dsv, a, b, c, k)] = ds;
-          const float xhat =
-              (float(xv.ptr[Off(xv, a, b, c, k)]) - mu) * rs;
-          acc_g[static_cast<std::size_t>(k)] += float(ds) * xhat;
-          acc_b[static_cast<std::size_t>(k)] += float(ds);
-        }
+  // Accumulator layout: [0, n) = dgamma, [n, 2n) = dbeta -- the same
+  // combine tree as LayerNormBackwardDW, which this kernel must match
+  // exactly. The d_sum writes are row-exclusive.
+  std::vector<float> acc(static_cast<std::size_t>(2 * n), 0.0f);
+  detail::DispatchUnit(detail::UnitInner(dav, dbv, xv, dsv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelReduceRows(ld.extents, acc,
+                       [&](auto a, auto b, auto c, float* part) {
+      const auto dar = RowOf<kU>(dav, a, b, c);
+      const auto dbr = RowOf<kU>(dbv, a, b, c);
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto dsr = RowOf<kU>(dsv, a, b, c);
+      const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+      const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+      for (std::int64_t k = 0; k < n; ++k) {
+        const T ds = T(float(dar[k]) + float(dbr[k]));
+        dsr[k] = ds;
+        const float xhat = (float(xr[k]) - mu) * rs;
+        part[k] += float(ds) * xhat;
+        part[n + k] += float(ds);
       }
-    }
-  }
+    });
+  });
   for (std::int64_t k = 0; k < n; ++k) {
-    dgamma.data()[k] = T(acc_g[static_cast<std::size_t>(k)]);
-    dbeta.data()[k] = T(acc_b[static_cast<std::size_t>(k)]);
+    dgamma.data()[k] = T(acc[static_cast<std::size_t>(k)]);
+    dbeta.data()[k] = T(acc[static_cast<std::size_t>(n + k)]);
   }
 }
 
@@ -305,17 +314,29 @@ void AttnInputBiasBackward(const std::array<const Tensor<T>*, 3>& d_inputs,
                          0.0f);
   const std::int64_t slice = d_inputs[0]->extent(stack_dim);
   const std::int64_t stack_stride = d_stacked_bias.stride(stack_dim);
+  // Each slice's accumulator range is contiguous iff the stacked dim is
+  // the bias tensor's outermost dim; then the per-slice reduction can run
+  // on a slice-sized subspan (3x smaller partial buffers and combines).
+  const bool slices_contiguous =
+      stack_stride * d_stacked_bias.extent(stack_dim) ==
+      d_stacked_bias.size();
+  const std::size_t slice_floats =
+      static_cast<std::size_t>(slice * stack_stride);
   for (std::size_t s = 0; s < 3; ++s) {
     const Tensor<T>& dy = *d_inputs[s];
     const auto ld = LoopOverOutput(dy.shape());
     auto dyv = View<const T, 4>::Bind(dy, ld.names);
     auto dbv = View<T, 4>::Bind(d_stacked_bias, ld.names);
-    const std::int64_t base =
+    const std::int64_t stack_base =
         static_cast<std::int64_t>(s) * slice * stack_stride;
-    For4(ld.extents, [&](auto a, auto b, auto c, auto d) {
-      acc[static_cast<std::size_t>(base + Off(dbv, a, b, c, d))] +=
-          float(dyv.ptr[Off(dyv, a, b, c, d)]);
-    });
+    if (slices_contiguous) {
+      detail::ReduceBiasRows(
+          ld, dyv, dbv, 0,
+          std::span<float>(acc).subspan(static_cast<std::size_t>(stack_base),
+                                        slice_floats));
+    } else {
+      detail::ReduceBiasRows(ld, dyv, dbv, stack_base, acc);
+    }
   }
   for (std::int64_t i = 0; i < d_stacked_bias.size(); ++i) {
     d_stacked_bias.data()[i] = T(acc[static_cast<std::size_t>(i)]);

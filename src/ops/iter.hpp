@@ -5,9 +5,11 @@
 // layout executes correctly -- layout only affects speed, as on the GPU.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "tensor/tensor.hpp"

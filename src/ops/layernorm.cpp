@@ -7,32 +7,17 @@
 
 namespace xflow::ops {
 
-namespace {
-
-/// Loop layout: non-normalized dims in slots 0..2, `norm_dim` innermost.
-detail::LoopDims NormLoop(const Shape& shape, char norm_dim) {
-  require(shape.rank() <= 4, "layernorm kernels support rank <= 4");
-  require(shape.has(norm_dim), "tensor lacks the normalization dimension");
-  detail::LoopDims ld;
-  std::size_t slot = 0;
-  for (const auto& d : shape.dims()) {
-    if (d.name == norm_dim) continue;
-    ld.names[slot] = d.name;
-    ld.extents[slot] = d.extent;
-    ++slot;
-  }
-  ld.names[3] = norm_dim;
-  ld.extents[3] = shape.extent(norm_dim);
-  return ld;
-}
-
-}  // namespace
+using detail::LoopWithInnermost;
+using detail::Off;
+using detail::ParallelReduceRows;
+using detail::ParallelRows;
+using detail::RowOf;
 
 template <typename T>
 void LayerNormForward(const Tensor<T>& x, const Tensor<T>& gamma,
                       const Tensor<T>& beta, char norm_dim, float eps,
                       Tensor<T>& y, TensorF& mean, TensorF& rstd) {
-  const auto ld = NormLoop(y.shape(), norm_dim);
+  const auto ld = LoopWithInnermost(y.shape(), norm_dim);
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto gv = View<const T, 4>::Bind(gamma, ld.names);
   auto bv = View<const T, 4>::Bind(beta, ld.names);
@@ -41,36 +26,36 @@ void LayerNormForward(const Tensor<T>& x, const Tensor<T>& gamma,
   auto rstdv = View<float, 4>::Bind(rstd, ld.names);
   const std::int64_t n = ld.extents[3];
   const float inv_n = 1.0f / static_cast<float>(n);
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        float sum = 0, sum_sq = 0;
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float v = float(xv.ptr[detail::Off(xv, a, b, c, k)]);
-          sum += v;
-          sum_sq += v * v;
-        }
-        const float mu = sum * inv_n;
-        const float var = std::max(sum_sq * inv_n - mu * mu, 0.0f);
-        const float rs = 1.0f / std::sqrt(var + eps);
-        meanv.ptr[detail::Off(meanv, a, b, c, 0)] = mu;
-        rstdv.ptr[detail::Off(rstdv, a, b, c, 0)] = rs;
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float v = float(xv.ptr[detail::Off(xv, a, b, c, k)]);
-          const float g = float(gv.ptr[detail::Off(gv, a, b, c, k)]);
-          const float bb = float(bv.ptr[detail::Off(bv, a, b, c, k)]);
-          yv.ptr[detail::Off(yv, a, b, c, k)] = T((v - mu) * rs * g + bb);
-        }
+  detail::DispatchUnit(detail::UnitInner(xv, gv, bv, yv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto gr = RowOf<kU>(gv, a, b, c);
+      const auto br = RowOf<kU>(bv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      float sum = 0, sum_sq = 0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float v = float(xr[k]);
+        sum += v;
+        sum_sq += v * v;
       }
-    }
-  }
+      const float mu = sum * inv_n;
+      const float var = std::max(sum_sq * inv_n - mu * mu, 0.0f);
+      const float rs = 1.0f / std::sqrt(var + eps);
+      meanv.ptr[Off(meanv, a, b, c, 0)] = mu;
+      rstdv.ptr[Off(rstdv, a, b, c, 0)] = rs;
+      for (std::int64_t k = 0; k < n; ++k) {
+        yr[k] = T((float(xr[k]) - mu) * rs * float(gr[k]) + float(br[k]));
+      }
+    });
+  });
 }
 
 template <typename T>
 void LayerNormBackwardDX(const Tensor<T>& dy, const Tensor<T>& gamma,
                          const Tensor<T>& x, const TensorF& mean,
                          const TensorF& rstd, char norm_dim, Tensor<T>& dx) {
-  const auto ld = NormLoop(dx.shape(), norm_dim);
+  const auto ld = LoopWithInnermost(dx.shape(), norm_dim);
   auto dyv = View<const T, 4>::Bind(dy, ld.names);
   auto gv = View<const T, 4>::Bind(gamma, ld.names);
   auto xv = View<const T, 4>::Bind(x, ld.names);
@@ -79,33 +64,31 @@ void LayerNormBackwardDX(const Tensor<T>& dy, const Tensor<T>& gamma,
   auto dxv = View<T, 4>::Bind(dx, ld.names);
   const std::int64_t n = ld.extents[3];
   const float inv_n = 1.0f / static_cast<float>(n);
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        const float mu = meanv.ptr[detail::Off(meanv, a, b, c, 0)];
-        const float rs = rstdv.ptr[detail::Off(rstdv, a, b, c, 0)];
-        float sum_g = 0, sum_gx = 0;
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float g = float(dyv.ptr[detail::Off(dyv, a, b, c, k)]) *
-                          float(gv.ptr[detail::Off(gv, a, b, c, k)]);
-          const float xhat =
-              (float(xv.ptr[detail::Off(xv, a, b, c, k)]) - mu) * rs;
-          sum_g += g;
-          sum_gx += g * xhat;
-        }
-        const float mean_g = sum_g * inv_n;
-        const float mean_gx = sum_gx * inv_n;
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float g = float(dyv.ptr[detail::Off(dyv, a, b, c, k)]) *
-                          float(gv.ptr[detail::Off(gv, a, b, c, k)]);
-          const float xhat =
-              (float(xv.ptr[detail::Off(xv, a, b, c, k)]) - mu) * rs;
-          dxv.ptr[detail::Off(dxv, a, b, c, k)] =
-              T(rs * (g - mean_g - xhat * mean_gx));
-        }
+  detail::DispatchUnit(detail::UnitInner(dyv, gv, xv, dxv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto dyr = RowOf<kU>(dyv, a, b, c);
+      const auto gr = RowOf<kU>(gv, a, b, c);
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto dxr = RowOf<kU>(dxv, a, b, c);
+      const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+      const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+      float sum_g = 0, sum_gx = 0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float g = float(dyr[k]) * float(gr[k]);
+        const float xhat = (float(xr[k]) - mu) * rs;
+        sum_g += g;
+        sum_gx += g * xhat;
       }
-    }
-  }
+      const float mean_g = sum_g * inv_n;
+      const float mean_gx = sum_gx * inv_n;
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float g = float(dyr[k]) * float(gr[k]);
+        const float xhat = (float(xr[k]) - mu) * rs;
+        dxr[k] = T(rs * (g - mean_g - xhat * mean_gx));
+      }
+    });
+  });
 }
 
 template <typename T>
@@ -115,32 +98,33 @@ void LayerNormBackwardDW(const Tensor<T>& dy, const Tensor<T>& x,
   require(dgamma.shape().names() == std::string(1, norm_dim) &&
               dbeta.shape().names() == std::string(1, norm_dim),
           "parameter gradients are 1-D over the normalized dimension");
-  const auto ld = NormLoop(dy.shape(), norm_dim);
+  const auto ld = LoopWithInnermost(dy.shape(), norm_dim);
   auto dyv = View<const T, 4>::Bind(dy, ld.names);
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto meanv = View<const float, 4>::Bind(mean, ld.names);
   auto rstdv = View<const float, 4>::Bind(rstd, ld.names);
   const std::int64_t n = ld.extents[3];
-  std::vector<float> acc_g(static_cast<std::size_t>(n), 0.0f);
-  std::vector<float> acc_b(static_cast<std::size_t>(n), 0.0f);
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        const float mu = meanv.ptr[detail::Off(meanv, a, b, c, 0)];
-        const float rs = rstdv.ptr[detail::Off(rstdv, a, b, c, 0)];
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float d = float(dyv.ptr[detail::Off(dyv, a, b, c, k)]);
-          const float xhat =
-              (float(xv.ptr[detail::Off(xv, a, b, c, k)]) - mu) * rs;
-          acc_g[static_cast<std::size_t>(k)] += d * xhat;
-          acc_b[static_cast<std::size_t>(k)] += d;
-        }
+  // Accumulator layout: [0, n) = dgamma, [n, 2n) = dbeta.
+  std::vector<float> acc(static_cast<std::size_t>(2 * n), 0.0f);
+  detail::DispatchUnit(detail::UnitInner(dyv, xv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelReduceRows(ld.extents, acc,
+                       [&](auto a, auto b, auto c, float* part) {
+      const auto dyr = RowOf<kU>(dyv, a, b, c);
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+      const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float d = float(dyr[k]);
+        const float xhat = (float(xr[k]) - mu) * rs;
+        part[k] += d * xhat;
+        part[n + k] += d;
       }
-    }
-  }
+    });
+  });
   for (std::int64_t k = 0; k < n; ++k) {
-    dgamma.data()[k] = T(acc_g[static_cast<std::size_t>(k)]);
-    dbeta.data()[k] = T(acc_b[static_cast<std::size_t>(k)]);
+    dgamma.data()[k] = T(acc[static_cast<std::size_t>(k)]);
+    dbeta.data()[k] = T(acc[static_cast<std::size_t>(n + k)]);
   }
 }
 

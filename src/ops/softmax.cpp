@@ -7,61 +7,43 @@
 
 namespace xflow::ops {
 
-namespace {
-
-/// Loop layout for reduction kernels: the three non-reduced dims (padded)
-/// come first, the reduced dim is the innermost (fourth) loop.
-detail::LoopDims ReductionLoop(const Shape& shape, char reduce_dim) {
-  require(shape.rank() <= 4, "reduction kernels support rank <= 4");
-  require(shape.has(reduce_dim), "tensor lacks the reduction dimension");
-  detail::LoopDims ld;
-  std::size_t slot = 0;
-  for (const auto& d : shape.dims()) {
-    if (d.name == reduce_dim) continue;
-    ld.names[slot] = d.name;
-    ld.extents[slot] = d.extent;
-    ++slot;
-  }
-  ld.names[3] = reduce_dim;
-  ld.extents[3] = shape.extent(reduce_dim);
-  return ld;
-}
-
-}  // namespace
+using detail::Dot;
+using detail::LoopWithInnermost;
+using detail::ParallelRows;
+using detail::RowOf;
 
 template <typename T>
 void SoftmaxForward(const Tensor<T>& x, char reduce_dim, Tensor<T>& y) {
-  const auto ld = ReductionLoop(y.shape(), reduce_dim);
+  const auto ld = LoopWithInnermost(y.shape(), reduce_dim);
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto yv = View<T, 4>::Bind(y, ld.names);
   const std::int64_t n = ld.extents[3];
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        float max_v = -std::numeric_limits<float>::infinity();
-        for (std::int64_t k = 0; k < n; ++k) {
-          max_v = std::max(max_v, float(xv.ptr[detail::Off(xv, a, b, c, k)]));
-        }
-        float sum = 0;
-        for (std::int64_t k = 0; k < n; ++k) {
-          sum += std::exp(float(xv.ptr[detail::Off(xv, a, b, c, k)]) - max_v);
-        }
-        const float inv = 1.0f / sum;
-        for (std::int64_t k = 0; k < n; ++k) {
-          yv.ptr[detail::Off(yv, a, b, c, k)] =
-              T(std::exp(float(xv.ptr[detail::Off(xv, a, b, c, k)]) - max_v) *
-                inv);
-        }
+  detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto xr = RowOf<kU>(xv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (std::int64_t k = 0; k < n; ++k) {
+        max_v = std::max(max_v, float(xr[k]));
       }
-    }
-  }
+      float sum = 0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        sum += std::exp(float(xr[k]) - max_v);
+      }
+      const float inv = 1.0f / sum;
+      for (std::int64_t k = 0; k < n; ++k) {
+        yr[k] = T(std::exp(float(xr[k]) - max_v) * inv);
+      }
+    });
+  });
 }
 
 template <typename T>
 void ScaledSoftmaxForward(const Tensor<T>& beta, char reduce_dim, float scale,
                           const DropoutMask& mask, Tensor<T>& alpha,
                           Tensor<T>& mask_out, Tensor<T>& softmax_saved) {
-  const auto ld = ReductionLoop(alpha.shape(), reduce_dim);
+  const auto ld = LoopWithInnermost(alpha.shape(), reduce_dim);
   auto bv = View<const T, 4>::Bind(beta, ld.names);
   auto av = View<T, 4>::Bind(alpha, ld.names);
   auto mv = View<T, 4>::Bind(mask_out, ld.names);
@@ -69,35 +51,33 @@ void ScaledSoftmaxForward(const Tensor<T>& beta, char reduce_dim, float scale,
   const auto canon = CanonicalStrides(alpha.shape(), ld.names);
   const float keep_scale = mask.Scale();
   const std::int64_t n = ld.extents[3];
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        float max_v = -std::numeric_limits<float>::infinity();
-        for (std::int64_t k = 0; k < n; ++k) {
-          max_v = std::max(
-              max_v, scale * float(bv.ptr[detail::Off(bv, a, b, c, k)]));
-        }
-        float sum = 0;
-        for (std::int64_t k = 0; k < n; ++k) {
-          sum += std::exp(
-              scale * float(bv.ptr[detail::Off(bv, a, b, c, k)]) - max_v);
-        }
-        const float inv = 1.0f / sum;
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float soft =
-              std::exp(scale * float(bv.ptr[detail::Off(bv, a, b, c, k)]) -
-                       max_v) *
-              inv;
-          const bool keep = mask.Keep(
-              static_cast<std::uint64_t>(detail::Dot(canon, a, b, c, k)));
-          sv.ptr[detail::Off(sv, a, b, c, k)] = T(soft);
-          mv.ptr[detail::Off(mv, a, b, c, k)] = T(keep ? 1.0f : 0.0f);
-          av.ptr[detail::Off(av, a, b, c, k)] =
-              T(keep ? soft * keep_scale : 0.0f);
-        }
+  detail::DispatchUnit(detail::UnitInner(bv, av, mv, sv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto br = RowOf<kU>(bv, a, b, c);
+      const auto ar = RowOf<kU>(av, a, b, c);
+      const auto mr = RowOf<kU>(mv, a, b, c);
+      const auto sr = RowOf<kU>(sv, a, b, c);
+      const std::int64_t base = Dot(canon, a, b, c, 0);
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (std::int64_t k = 0; k < n; ++k) {
+        max_v = std::max(max_v, scale * float(br[k]));
       }
-    }
-  }
+      float sum = 0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        sum += std::exp(scale * float(br[k]) - max_v);
+      }
+      const float inv = 1.0f / sum;
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float soft = std::exp(scale * float(br[k]) - max_v) * inv;
+        const bool keep =
+            mask.Keep(static_cast<std::uint64_t>(base + k * canon[3]));
+        sr[k] = T(soft);
+        mr[k] = T(keep ? 1.0f : 0.0f);
+        ar[k] = T(keep ? soft * keep_scale : 0.0f);
+      }
+    });
+  });
 }
 
 template <typename T>
@@ -106,7 +86,7 @@ void CausalScaledSoftmaxForward(const Tensor<T>& beta, char reduce_dim,
                                 const DropoutMask& mask, Tensor<T>& alpha,
                                 Tensor<T>& mask_out,
                                 Tensor<T>& softmax_saved) {
-  const auto ld = ReductionLoop(alpha.shape(), reduce_dim);
+  const auto ld = LoopWithInnermost(alpha.shape(), reduce_dim);
   // Which of the three outer loop slots runs over query positions?
   int query_slot = -1;
   for (int s = 0; s < 3; ++s) {
@@ -121,66 +101,63 @@ void CausalScaledSoftmaxForward(const Tensor<T>& beta, char reduce_dim,
   const auto canon = CanonicalStrides(alpha.shape(), ld.names);
   const float keep_scale = mask.Scale();
   const std::int64_t n = ld.extents[3];
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        const std::int64_t q = query_slot == 0 ? a : query_slot == 1 ? b : c;
-        const std::int64_t visible = std::min(q + 1, n);
-        float max_v = -std::numeric_limits<float>::infinity();
-        for (std::int64_t k = 0; k < visible; ++k) {
-          max_v = std::max(
-              max_v, scale * float(bv.ptr[detail::Off(bv, a, b, c, k)]));
-        }
-        float sum = 0;
-        for (std::int64_t k = 0; k < visible; ++k) {
-          sum += std::exp(
-              scale * float(bv.ptr[detail::Off(bv, a, b, c, k)]) - max_v);
-        }
-        const float inv = 1.0f / sum;
-        for (std::int64_t k = 0; k < n; ++k) {
-          float soft = 0;
-          if (k < visible) {
-            soft = std::exp(scale *
-                                float(bv.ptr[detail::Off(bv, a, b, c, k)]) -
-                            max_v) *
-                   inv;
-          }
-          const bool keep = mask.Keep(
-              static_cast<std::uint64_t>(detail::Dot(canon, a, b, c, k)));
-          sv.ptr[detail::Off(sv, a, b, c, k)] = T(soft);
-          mv.ptr[detail::Off(mv, a, b, c, k)] = T(keep ? 1.0f : 0.0f);
-          av.ptr[detail::Off(av, a, b, c, k)] =
-              T(keep && k < visible ? soft * keep_scale : 0.0f);
-        }
+  detail::DispatchUnit(detail::UnitInner(bv, av, mv, sv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto br = RowOf<kU>(bv, a, b, c);
+      const auto ar = RowOf<kU>(av, a, b, c);
+      const auto mr = RowOf<kU>(mv, a, b, c);
+      const auto sr = RowOf<kU>(sv, a, b, c);
+      const std::int64_t base = Dot(canon, a, b, c, 0);
+      const std::int64_t q = query_slot == 0 ? a : query_slot == 1 ? b : c;
+      const std::int64_t visible = std::min(q + 1, n);
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (std::int64_t k = 0; k < visible; ++k) {
+        max_v = std::max(max_v, scale * float(br[k]));
       }
-    }
-  }
+      float sum = 0;
+      for (std::int64_t k = 0; k < visible; ++k) {
+        sum += std::exp(scale * float(br[k]) - max_v);
+      }
+      const float inv = 1.0f / sum;
+      for (std::int64_t k = 0; k < n; ++k) {
+        float soft = 0;
+        if (k < visible) {
+          soft = std::exp(scale * float(br[k]) - max_v) * inv;
+        }
+        const bool keep =
+            mask.Keep(static_cast<std::uint64_t>(base + k * canon[3]));
+        sr[k] = T(soft);
+        mr[k] = T(keep ? 1.0f : 0.0f);
+        ar[k] = T(keep && k < visible ? soft * keep_scale : 0.0f);
+      }
+    });
+  });
 }
 
 template <typename T>
 void SoftmaxBackwardDX(const Tensor<T>& dy, const Tensor<T>& y,
                        char reduce_dim, Tensor<T>& dx) {
-  const auto ld = ReductionLoop(dx.shape(), reduce_dim);
+  const auto ld = LoopWithInnermost(dx.shape(), reduce_dim);
   auto dyv = View<const T, 4>::Bind(dy, ld.names);
   auto yv = View<const T, 4>::Bind(y, ld.names);
   auto dxv = View<T, 4>::Bind(dx, ld.names);
   const std::int64_t n = ld.extents[3];
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        float inner = 0;
-        for (std::int64_t k = 0; k < n; ++k) {
-          inner += float(dyv.ptr[detail::Off(dyv, a, b, c, k)]) *
-                   float(yv.ptr[detail::Off(yv, a, b, c, k)]);
-        }
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float yk = float(yv.ptr[detail::Off(yv, a, b, c, k)]);
-          const float dyk = float(dyv.ptr[detail::Off(dyv, a, b, c, k)]);
-          dxv.ptr[detail::Off(dxv, a, b, c, k)] = T(yk * (dyk - inner));
-        }
+  detail::DispatchUnit(detail::UnitInner(dyv, yv, dxv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto dyr = RowOf<kU>(dyv, a, b, c);
+      const auto yr = RowOf<kU>(yv, a, b, c);
+      const auto dxr = RowOf<kU>(dxv, a, b, c);
+      float inner = 0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        inner += float(dyr[k]) * float(yr[k]);
       }
-    }
-  }
+      for (std::int64_t k = 0; k < n; ++k) {
+        dxr[k] = T(float(yr[k]) * (float(dyr[k]) - inner));
+      }
+    });
+  });
 }
 
 template <typename T>
@@ -188,34 +165,32 @@ void ScaledSoftmaxBackwardDX(const Tensor<T>& d_alpha, const Tensor<T>& mask,
                              const Tensor<T>& softmax_saved, char reduce_dim,
                              float scale, float keep_scale,
                              Tensor<T>& d_beta) {
-  const auto ld = ReductionLoop(d_beta.shape(), reduce_dim);
+  const auto ld = LoopWithInnermost(d_beta.shape(), reduce_dim);
   auto dav = View<const T, 4>::Bind(d_alpha, ld.names);
   auto mv = View<const T, 4>::Bind(mask, ld.names);
   auto sv = View<const T, 4>::Bind(softmax_saved, ld.names);
   auto dbv = View<T, 4>::Bind(d_beta, ld.names);
   const std::int64_t n = ld.extents[3];
-  for (std::int64_t a = 0; a < ld.extents[0]; ++a) {
-    for (std::int64_t b = 0; b < ld.extents[1]; ++b) {
-      for (std::int64_t c = 0; c < ld.extents[2]; ++c) {
-        // ds = d_alpha through dropout; inner = sum(ds * s).
-        float inner = 0;
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float ds = float(dav.ptr[detail::Off(dav, a, b, c, k)]) *
-                           float(mv.ptr[detail::Off(mv, a, b, c, k)]) *
-                           keep_scale;
-          inner += ds * float(sv.ptr[detail::Off(sv, a, b, c, k)]);
-        }
-        for (std::int64_t k = 0; k < n; ++k) {
-          const float ds = float(dav.ptr[detail::Off(dav, a, b, c, k)]) *
-                           float(mv.ptr[detail::Off(mv, a, b, c, k)]) *
-                           keep_scale;
-          const float s = float(sv.ptr[detail::Off(sv, a, b, c, k)]);
-          dbv.ptr[detail::Off(dbv, a, b, c, k)] =
-              T(scale * s * (ds - inner));
-        }
+  detail::DispatchUnit(detail::UnitInner(dav, mv, sv, dbv), [&](auto unit) {
+    constexpr bool kU = decltype(unit)::value;
+    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
+      const auto dar = RowOf<kU>(dav, a, b, c);
+      const auto mr = RowOf<kU>(mv, a, b, c);
+      const auto sr = RowOf<kU>(sv, a, b, c);
+      const auto dbr = RowOf<kU>(dbv, a, b, c);
+      // ds = d_alpha through dropout; inner = sum(ds * s).
+      float inner = 0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float ds = float(dar[k]) * float(mr[k]) * keep_scale;
+        inner += ds * float(sr[k]);
       }
-    }
-  }
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float ds = float(dar[k]) * float(mr[k]) * keep_scale;
+        const float s = float(sr[k]);
+        dbr[k] = T(scale * s * (ds - inner));
+      }
+    });
+  });
 }
 
 #define XFLOW_INSTANTIATE_SOFTMAX(T)                                          \
