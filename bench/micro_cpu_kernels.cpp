@@ -198,6 +198,25 @@ BENCHMARK(BM_LayerNormLayoutSensitivity)
     ->Arg(1)   // i innermost (contiguous reduction)
     ->Arg(0);  // i strided (non-contiguous reduction)
 
+void BM_SoftmaxLayoutSensitivity(benchmark::State& state) {
+  // Same story for softmax: reducing over a strided dim runs through the
+  // engine's transpose-on-the-fly tiles instead of thrashing per element.
+  ThreadGuard pin(1);
+  const bool contiguous = state.range(0) != 0;
+  const Shape big("bjk", {8, 256, 2048});
+  auto x = TensorH::Random(big, 1);
+  if (!contiguous) x = x.Permuted("kjb");  // k outermost
+  TensorH y(x.shape());
+  for (auto _ : state) {
+    ops::SoftmaxForward(x, 'k', y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() * big.num_elements() * 2 * 2);
+}
+BENCHMARK(BM_SoftmaxLayoutSensitivity)
+    ->Arg(1)   // k innermost (contiguous reduction)
+    ->Arg(0);  // k strided (non-contiguous reduction)
+
 /// Google Benchmark renamed Run::error_occurred to Run::skipped in v1.8;
 /// probe for whichever member this library version has.
 template <typename R>

@@ -1,10 +1,24 @@
 #include "common/cli.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/error.hpp"
 
 namespace xflow {
+
+namespace {
+
+std::string AsciiLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -27,10 +41,14 @@ std::int64_t ArgParser::GetInt(const std::string& name,
   queried_[name] = true;
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
+  const std::string& s = it->second;
   char* end = nullptr;
-  const auto v = std::strtoll(it->second.c_str(), &end, 10);
-  require(end != nullptr && *end == '\0' && !it->second.empty(),
-          "option --" + name + " expects an integer");
+  errno = 0;
+  const auto v = std::strtoll(s.c_str(), &end, 10);
+  // The whole value must parse: trailing garbage ("8x") and out-of-range
+  // magnitudes are errors, never silent truncation.
+  require(!s.empty() && end == s.c_str() + s.size() && errno != ERANGE,
+          "option --" + name + " expects an integer, got \"" + s + "\"");
   return v;
 }
 
@@ -38,10 +56,16 @@ double ArgParser::GetDouble(const std::string& name, double fallback) const {
   queried_[name] = true;
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
+  const std::string& s = it->second;
   char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  require(end != nullptr && *end == '\0' && !it->second.empty(),
-          "option --" + name + " expects a number");
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  // Same full-consumption rule as GetInt. Overflow to infinity and
+  // explicit inf/nan are errors; underflow to (sub)normal tiny values is
+  // accepted.
+  require(!s.empty() && end == s.c_str() + s.size() && !std::isinf(v) &&
+              !std::isnan(v),
+          "option --" + name + " expects a number, got \"" + s + "\"");
   return v;
 }
 
@@ -56,7 +80,14 @@ bool ArgParser::GetFlag(const std::string& name) const {
   queried_[name] = true;
   const auto it = options_.find(name);
   if (it == options_.end()) return false;
-  return it->second != "0" && it->second != "false";
+  const std::string v = AsciiLower(it->second);
+  if (v.empty() || v == "1" || v == "true" || v == "on" || v == "yes") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  require(false, "option --" + name + " expects a boolean (1/true/on/yes or " +
+                     "0/false/off/no), got \"" + it->second + "\"");
+  return false;  // unreachable
 }
 
 bool ArgParser::Has(const std::string& name) const {

@@ -19,8 +19,9 @@ class ArgParser {
                                  double fallback) const;
   [[nodiscard]] std::string GetString(const std::string& name,
                                       std::string fallback) const;
-  /// True when --name was given (with or without a value, unless "=0" or
-  /// "=false").
+  /// True when --name was given (bare, or with a true-ish value). Values
+  /// are compared case-insensitively: 1/true/on/yes are true, 0/false/off/no
+  /// are false, anything else throws InvalidArgument.
   [[nodiscard]] bool GetFlag(const std::string& name) const;
 
   [[nodiscard]] bool Has(const std::string& name) const;

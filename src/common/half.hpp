@@ -6,6 +6,7 @@
 // arithmetic operation round-trips through float.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
 
@@ -41,7 +42,9 @@ class Half {
   friend bool operator>=(Half a, Half b) { return float(a) >= float(b); }
 
   /// float -> binary16 bit pattern, round-to-nearest-even, with proper
-  /// handling of subnormals, infinities and NaN.
+  /// handling of subnormals, infinities and NaN. Defined inline (below) so
+  /// the conversion folds into kernel row loops instead of costing a
+  /// function call per element.
   static std::uint16_t FromFloat(float f);
   /// binary16 bit pattern -> float (exact).
   static float ToFloat(std::uint16_t bits);
@@ -54,5 +57,84 @@ std::ostream& operator<<(std::ostream& os, Half h);
 
 /// Number of bytes per element for the storage type used by the paper (fp16).
 inline constexpr int kHalfBytes = 2;
+
+// Conversion definitions. Pure integer bit manipulation (no FP environment
+// dependence), kept in the header so every kernel loop inlines them.
+
+inline std::uint16_t Half::FromFloat(float f) {
+  constexpr std::uint32_t kF32SignMask = 0x8000'0000u;
+  constexpr int kF32MantBits = 23;
+  constexpr int kF16MantBits = 10;
+  constexpr int kMantShift = kF32MantBits - kF16MantBits;  // 13
+
+  const auto u = std::bit_cast<std::uint32_t>(f);
+  const std::uint16_t sign =
+      static_cast<std::uint16_t>((u & kF32SignMask) >> 16);
+  const std::int32_t exp =
+      static_cast<std::int32_t>((u >> kF32MantBits) & 0xFF) - 127;
+  std::uint32_t mant = u & 0x007F'FFFFu;
+
+  if (exp == 128) {  // Inf or NaN
+    if (mant != 0) return static_cast<std::uint16_t>(sign | 0x7E00u);  // qNaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u);                 // Inf
+  }
+  if (exp > 15) {  // overflow -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp >= -14) {  // normal range
+    // Round mantissa to 10 bits, round-to-nearest-even.
+    std::uint32_t rounded = mant + 0x0FFFu + ((mant >> kMantShift) & 1u);
+    std::uint32_t e16 = static_cast<std::uint32_t>(exp + 15);
+    if (rounded & 0x0080'0000u) {  // mantissa overflow bumps exponent
+      rounded = 0;
+      ++e16;
+      if (e16 >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+    return static_cast<std::uint16_t>(sign | (e16 << kF16MantBits) |
+                                      (rounded >> kMantShift));
+  }
+  if (exp >= -25) {  // subnormal range
+    // Implicit leading 1 becomes explicit; shift right by the deficit.
+    mant |= 0x0080'0000u;
+    const int shift = -exp - 14 + kMantShift;  // in [14, 24]
+    const std::uint32_t half_ulp = 1u << (shift - 1);
+    const std::uint32_t lsb = (mant >> shift) & 1u;
+    const std::uint32_t rounded = mant + half_ulp - 1u + lsb;
+    return static_cast<std::uint16_t>(sign | (rounded >> shift));
+  }
+  return sign;  // underflow to signed zero
+}
+
+inline float Half::ToFloat(std::uint16_t bits) {
+  constexpr int kF32MantBits = 23;
+  constexpr int kF16MantBits = 10;
+  constexpr int kMantShift = kF32MantBits - kF16MantBits;  // 13
+
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> kF16MantBits) & 0x1Fu;
+  std::uint32_t mant = bits & 0x03FFu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      do {
+        mant <<= 1;
+        ++e;
+      } while ((mant & 0x0400u) == 0);
+      mant &= 0x03FFu;
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << kF32MantBits) |
+            (mant << kMantShift);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7F80'0000u | (mant << kMantShift);  // Inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << kF32MantBits) | (mant << kMantShift);
+  }
+  return std::bit_cast<float>(out);
+}
 
 }  // namespace xflow

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstddef>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -28,8 +31,21 @@ int EnvThreads() {
   const char* env = std::getenv("XFLOW_THREADS");
   if (env == nullptr || *env == '\0') return 0;
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(env, &end, 10);
-  if (end == env || v < 1 || v > 1024) return 0;  // malformed: ignore
+  if (end == env || *end != '\0' || errno == ERANGE || v < 1 || v > 1024) {
+    // A malformed value must not silently fall back to hardware
+    // concurrency: a misconfigured run (XFLOW_THREADS=8x, =-2, =99999)
+    // would otherwise look exactly like an unconfigured one. Warn once.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "xflow: ignoring invalid XFLOW_THREADS=\"%s\" (expected an "
+                   "integer in [1, 1024]); using hardware concurrency\n",
+                   env);
+    }
+    return 0;
+  }
   return static_cast<int>(v);
 }
 
@@ -164,6 +180,15 @@ void ThreadPool::SetGlobalThreads(int threads) {
 void ParallelFor(std::int64_t n, std::int64_t grain,
                  const std::function<void(std::int64_t)>& fn) {
   ThreadPool::Global().ParallelFor(n, grain, fn);
+}
+
+void* ThreadScratch(std::size_t bytes) {
+  // One arena per OS thread (pool workers and application threads alike),
+  // grown monotonically: kernels request tile-sized buffers repeatedly, so
+  // after warm-up this never allocates on the hot path.
+  thread_local std::vector<std::byte> arena;
+  if (arena.size() < bytes) arena.resize(bytes);
+  return arena.data();
 }
 
 }  // namespace xflow

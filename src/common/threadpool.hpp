@@ -11,6 +11,7 @@
 // flag) > XFLOW_THREADS environment variable > hardware concurrency.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -58,5 +59,14 @@ class ThreadPool {
 /// Shorthand for ThreadPool::Global().ParallelFor(n, grain, fn).
 void ParallelFor(std::int64_t n, std::int64_t grain,
                  const std::function<void(std::int64_t)>& fn);
+
+/// Per-thread scratch arena for kernels that stage tiles (e.g. the ops
+/// engine's transpose-on-the-fly path). Returns a buffer of at least
+/// `bytes` bytes, aligned for any scalar type, private to the calling
+/// thread and reused across calls: the next ThreadScratch call on the same
+/// thread may return the same (possibly reallocated) memory, so a caller
+/// must be done with the previous buffer before requesting another. The
+/// contents are uninitialized.
+[[nodiscard]] void* ThreadScratch(std::size_t bytes);
 
 }  // namespace xflow

@@ -7,9 +7,11 @@
 namespace xflow::ops {
 
 using detail::Dot;
+using detail::ForEachRow;
+using detail::In;
 using detail::LoopOverOutput;
-using detail::ParallelRows;
-using detail::RowOf;
+using detail::Out;
+using detail::Pass;
 
 template <typename T>
 void BiasForward(const Tensor<T>& x, const Tensor<T>& bias, Tensor<T>& y) {
@@ -19,18 +21,17 @@ void BiasForward(const Tensor<T>& x, const Tensor<T>& bias, Tensor<T>& y) {
   auto yv = View<T, 4>::Bind(y, ld.names);
   const std::int64_t n = ld.extents[3];
   // The bias may broadcast along the innermost dim (stride 0), so it keeps
-  // a strided accessor and stays out of the unit-stride dispatch.
-  detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto br = RowOf<false>(bv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      for (std::int64_t d = 0; d < n; ++d) {
-        yr[d] = T(float(xr[d]) + float(br[d]));
-      }
-    });
-  });
+  // a strided accessor (Pass) and stays out of the unit-stride gating.
+  ForEachRow(
+      ld,
+      [n](std::int64_t, std::int64_t, std::int64_t, const auto& xr,
+          const auto& br, const auto& yr) {
+        XFLOW_SIMD
+        for (std::int64_t d = 0; d < n; ++d) {
+          yr[d] = T(float(xr[d]) + float(br[d]));
+        }
+      },
+      In{xv}, Pass{bv}, Out{yv});
 }
 
 template <typename T>
@@ -39,17 +40,17 @@ void ReluForward(const Tensor<T>& x, Tensor<T>& y) {
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto yv = View<T, 4>::Bind(y, ld.names);
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      for (std::int64_t d = 0; d < n; ++d) {
-        const float v = float(xr[d]);
-        yr[d] = T(v > 0.0f ? v : 0.0f);
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [n](std::int64_t, std::int64_t, std::int64_t, const auto& xr,
+          const auto& yr) {
+        XFLOW_SIMD
+        for (std::int64_t d = 0; d < n; ++d) {
+          const float v = float(xr[d]);
+          yr[d] = T(v > 0.0f ? v : 0.0f);
+        }
+      },
+      In{xv}, Out{yv});
 }
 
 template <typename T>
@@ -62,21 +63,19 @@ void DropoutForward(const Tensor<T>& x, const DropoutMask& mask, Tensor<T>& y,
   const auto canon = CanonicalStrides(y.shape(), ld.names);
   const float scale = mask.Scale();
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(xv, yv, mv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      const auto mr = RowOf<kU>(mv, a, b, c);
-      const std::int64_t base = Dot(canon, a, b, c, 0);
-      for (std::int64_t d = 0; d < n; ++d) {
-        const bool keep =
-            mask.Keep(static_cast<std::uint64_t>(base + d * canon[3]));
-        yr[d] = T(keep ? float(xr[d]) * scale : 0.0f);
-        mr[d] = T(keep ? 1.0f : 0.0f);
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [&, n](std::int64_t a, std::int64_t b, std::int64_t c, const auto& xr,
+             const auto& yr, const auto& mr) {
+        const std::int64_t base = Dot(canon, a, b, c, 0);
+        for (std::int64_t d = 0; d < n; ++d) {
+          const bool keep =
+              mask.Keep(static_cast<std::uint64_t>(base + d * canon[3]));
+          yr[d] = T(keep ? float(xr[d]) * scale : 0.0f);
+          mr[d] = T(keep ? 1.0f : 0.0f);
+        }
+      },
+      In{xv}, Out{yv}, Out{mv});
 }
 
 template <typename T>
@@ -86,17 +85,16 @@ void ResidualForward(const Tensor<T>& a, const Tensor<T>& b, Tensor<T>& y) {
   auto bv = View<const T, 4>::Bind(b, ld.names);
   auto yv = View<T, 4>::Bind(y, ld.names);
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(av, bv, yv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto i, auto j, auto k) {
-      const auto ar = RowOf<kU>(av, i, j, k);
-      const auto br = RowOf<kU>(bv, i, j, k);
-      const auto yr = RowOf<kU>(yv, i, j, k);
-      for (std::int64_t d = 0; d < n; ++d) {
-        yr[d] = T(float(ar[d]) + float(br[d]));
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [n](std::int64_t, std::int64_t, std::int64_t, const auto& ar,
+          const auto& br, const auto& yr) {
+        XFLOW_SIMD
+        for (std::int64_t d = 0; d < n; ++d) {
+          yr[d] = T(float(ar[d]) + float(br[d]));
+        }
+      },
+      In{av}, In{bv}, Out{yv});
 }
 
 template <typename T>
@@ -105,16 +103,16 @@ void ScaleForward(const Tensor<T>& x, float alpha, Tensor<T>& y) {
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto yv = View<T, 4>::Bind(y, ld.names);
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      for (std::int64_t d = 0; d < n; ++d) {
-        yr[d] = T(alpha * float(xr[d]));
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [n, alpha](std::int64_t, std::int64_t, std::int64_t, const auto& xr,
+                 const auto& yr) {
+        XFLOW_SIMD
+        for (std::int64_t d = 0; d < n; ++d) {
+          yr[d] = T(alpha * float(xr[d]));
+        }
+      },
+      In{xv}, Out{yv});
 }
 
 template <typename T>
@@ -137,18 +135,17 @@ void ReluBackwardDX(const Tensor<T>& dy, const Tensor<T>& y, Tensor<T>& dx) {
   auto yv = View<const T, 4>::Bind(y, ld.names);
   auto dxv = View<T, 4>::Bind(dx, ld.names);
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(dyv, yv, dxv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto dyr = RowOf<kU>(dyv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      const auto dxr = RowOf<kU>(dxv, a, b, c);
-      for (std::int64_t d = 0; d < n; ++d) {
-        const bool active = float(yr[d]) > 0.0f;
-        dxr[d] = active ? dyr[d] : T(0.0f);
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [n](std::int64_t, std::int64_t, std::int64_t, const auto& dyr,
+          const auto& yr, const auto& dxr) {
+        XFLOW_SIMD
+        for (std::int64_t d = 0; d < n; ++d) {
+          const bool active = float(yr[d]) > 0.0f;
+          dxr[d] = active ? dyr[d] : T(0.0f);
+        }
+      },
+      In{dyv}, In{yv}, Out{dxv});
 }
 
 template <typename T>
@@ -159,17 +156,16 @@ void DropoutBackwardDX(const Tensor<T>& dy, const Tensor<T>& mask,
   auto mv = View<const T, 4>::Bind(mask, ld.names);
   auto dxv = View<T, 4>::Bind(dx, ld.names);
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(dyv, mv, dxv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto dyr = RowOf<kU>(dyv, a, b, c);
-      const auto mr = RowOf<kU>(mv, a, b, c);
-      const auto dxr = RowOf<kU>(dxv, a, b, c);
-      for (std::int64_t d = 0; d < n; ++d) {
-        dxr[d] = T(float(dyr[d]) * float(mr[d]) * keep_scale);
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [n, keep_scale](std::int64_t, std::int64_t, std::int64_t,
+                      const auto& dyr, const auto& mr, const auto& dxr) {
+        XFLOW_SIMD
+        for (std::int64_t d = 0; d < n; ++d) {
+          dxr[d] = T(float(dyr[d]) * float(mr[d]) * keep_scale);
+        }
+      },
+      In{dyv}, In{mv}, Out{dxv});
 }
 
 #define XFLOW_INSTANTIATE_ELEMENTWISE(T)                                      \

@@ -8,12 +8,16 @@
 namespace xflow::ops {
 
 using detail::Dot;
+using detail::ForEachRow;
+using detail::ForEachRowReduce;
+using detail::In;
 using detail::LoopOverOutput;
 using detail::LoopWithInnermost;
 using detail::Off;
-using detail::ParallelReduceRows;
-using detail::ParallelRows;
-using detail::RowOf;
+using detail::Out;
+using detail::Pass;
+using detail::RowMoments;
+using detail::RowNormDots;
 
 template <typename T>
 void AttnInputBias(const std::array<const Tensor<T>*, 3>& inputs,
@@ -32,18 +36,17 @@ void AttnInputBias(const std::array<const Tensor<T>*, 3>& inputs,
     bv.ptr += static_cast<std::int64_t>(s) * slice * bias_stride;
     const std::int64_t n = ld.extents[3];
     // The stacked bias may broadcast along the innermost dim (stride 0),
-    // so it keeps a strided accessor and stays out of the unit dispatch.
-    detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
-      constexpr bool kU = decltype(unit)::value;
-      ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-        const auto xr = RowOf<kU>(xv, a, b, c);
-        const auto br = RowOf<false>(bv, a, b, c);
-        const auto yr = RowOf<kU>(yv, a, b, c);
-        for (std::int64_t d = 0; d < n; ++d) {
-          yr[d] = T(float(xr[d]) + float(br[d]));
-        }
-      });
-    });
+    // so it keeps a strided accessor (Pass).
+    ForEachRow(
+        ld,
+        [n](std::int64_t, std::int64_t, std::int64_t, const auto& xr,
+            const auto& br, const auto& yr) {
+          XFLOW_SIMD
+          for (std::int64_t d = 0; d < n; ++d) {
+            yr[d] = T(float(xr[d]) + float(br[d]));
+          }
+        },
+        In{xv}, Pass{bv}, Out{yv});
   }
 }
 
@@ -62,30 +65,27 @@ void BiasReluDropout(const Tensor<T>& x, const Tensor<T>& bias,
   const std::int64_t n = ld.extents[3];
   // The bias may broadcast along the innermost dim (stride 0; e.g. the FFN
   // "ubj" layout with the bias over u), so it keeps a strided accessor.
-  detail::DispatchUnit(detail::UnitInner(xv, rv, yv, mv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto br = RowOf<false>(bv, a, b, c);
-      const auto rr = RowOf<kU>(rv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      const auto mr = RowOf<kU>(mv, a, b, c);
-      const std::int64_t base = Dot(canon, a, b, c, 0);
-      for (std::int64_t d = 0; d < n; ++d) {
-        float v = float(xr[d]) + float(br[d]);
-        v = v > 0.0f ? v : 0.0f;
-        // ReLU is saved in fp16, so the backward pass sees the rounded
-        // value: recompute the dropout from that rounded number, exactly as
-        // the separate-kernel pipeline would.
-        const T r = T(v);
-        rr[d] = r;
-        const bool keep =
-            mask.Keep(static_cast<std::uint64_t>(base + d * canon[3]));
-        yr[d] = T(keep ? float(r) * scale : 0.0f);
-        mr[d] = T(keep ? 1.0f : 0.0f);
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [&, n, scale](std::int64_t a, std::int64_t b, std::int64_t c,
+                    const auto& xr, const auto& br, const auto& rr,
+                    const auto& yr, const auto& mr) {
+        const std::int64_t base = Dot(canon, a, b, c, 0);
+        for (std::int64_t d = 0; d < n; ++d) {
+          float v = float(xr[d]) + float(br[d]);
+          v = v > 0.0f ? v : 0.0f;
+          // ReLU is saved in fp16, so the backward pass sees the rounded
+          // value: recompute the dropout from that rounded number, exactly
+          // as the separate-kernel pipeline would.
+          const T r = T(v);
+          rr[d] = r;
+          const bool keep =
+              mask.Keep(static_cast<std::uint64_t>(base + d * canon[3]));
+          yr[d] = T(keep ? float(r) * scale : 0.0f);
+          mr[d] = T(keep ? 1.0f : 0.0f);
+        }
+      },
+      In{xv}, Pass{bv}, Out{rv}, Out{yv}, Out{mv});
 }
 
 template <typename T>
@@ -114,47 +114,46 @@ void BiasDropoutResidualLayerNorm(const Tensor<T>& x, const Tensor<T>& bias,
   const float scale = mask.Scale();
   const std::int64_t n = ld.extents[3];
   const float inv_n = 1.0f / static_cast<float>(n);
-  detail::DispatchUnit(
-      detail::UnitInner(xv, bv, resinv, gv, betav, resv, mv, yv),
-      [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto br = RowOf<kU>(bv, a, b, c);
-      const auto resinr = RowOf<kU>(resinv, a, b, c);
-      const auto gr = RowOf<kU>(gv, a, b, c);
-      const auto betar = RowOf<kU>(betav, a, b, c);
-      const auto resr = RowOf<kU>(resv, a, b, c);
-      const auto mr = RowOf<kU>(mv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      const std::int64_t base = Dot(canon, a, b, c, 0);
-      // Loop 1: bias + dropout + residual, accumulate moments.
-      float sum = 0, sum_sq = 0;
-      for (std::int64_t k = 0; k < n; ++k) {
-        // Match the unfused pipeline bit-for-bit: every interim that the
-        // separate-kernel pipeline would write to memory (biased value,
-        // dropout output) is rounded to T at the same point here.
-        const float biased = float(T(float(xr[k]) + float(br[k])));
-        const bool keep =
-            mask.Keep(static_cast<std::uint64_t>(base + k * canon[3]));
-        const float dropped = float(T(keep ? biased * scale : 0.0f));
-        const T resid = T(dropped + float(resinr[k]));
-        resr[k] = resid;
-        mr[k] = T(keep ? 1.0f : 0.0f);
-        sum += float(resid);
-        sum_sq += float(resid) * float(resid);
-      }
-      const float mu = sum * inv_n;
-      const float var = std::max(sum_sq * inv_n - mu * mu, 0.0f);
-      const float rs = 1.0f / std::sqrt(var + eps);
-      meanv.ptr[Off(meanv, a, b, c, 0)] = mu;
-      rstdv.ptr[Off(rstdv, a, b, c, 0)] = rs;
-      // Loop 2: apply the normalization.
-      for (std::int64_t k = 0; k < n; ++k) {
-        yr[k] = T((float(resr[k]) - mu) * rs * float(gr[k]) + float(betar[k]));
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [&, n, scale, eps, inv_n](std::int64_t a, std::int64_t b,
+                                std::int64_t c, const auto& xr,
+                                const auto& br, const auto& resinr,
+                                const auto& gr, const auto& betar,
+                                const auto& resr, const auto& mr,
+                                const auto& yr) {
+        const std::int64_t base = Dot(canon, a, b, c, 0);
+        // Loop 1: bias + dropout + residual.
+        for (std::int64_t k = 0; k < n; ++k) {
+          // Match the unfused pipeline bit-for-bit: every interim that the
+          // separate-kernel pipeline would write to memory (biased value,
+          // dropout output) is rounded to T at the same point here.
+          const float biased = float(T(float(xr[k]) + float(br[k])));
+          const bool keep =
+              mask.Keep(static_cast<std::uint64_t>(base + k * canon[3]));
+          const float dropped = float(T(keep ? biased * scale : 0.0f));
+          resr[k] = T(dropped + float(resinr[k]));
+          mr[k] = T(keep ? 1.0f : 0.0f);
+        }
+        // Moments over the saved residual row -- through the same helper
+        // LayerNormForward uses, so fused mean/rstd match the unfused
+        // pipeline bitwise.
+        float sum = 0, sum_sq = 0;
+        RowMoments(resr, n, &sum, &sum_sq);
+        const float mu = sum * inv_n;
+        const float var = std::max(sum_sq * inv_n - mu * mu, 0.0f);
+        const float rs = 1.0f / std::sqrt(var + eps);
+        meanv.ptr[Off(meanv, a, b, c, 0)] = mu;
+        rstdv.ptr[Off(rstdv, a, b, c, 0)] = rs;
+        // Loop 2: apply the normalization.
+        XFLOW_SIMD
+        for (std::int64_t k = 0; k < n; ++k) {
+          yr[k] =
+              T((float(resr[k]) - mu) * rs * float(gr[k]) + float(betar[k]));
+        }
+      },
+      In{xv}, In{bv}, In{resinv}, In{gv}, In{betav}, Out{resv}, Out{mv},
+      Out{yv});
 }
 
 template <typename T>
@@ -174,36 +173,29 @@ void LayerNormDropoutBackward(const Tensor<T>& dy, const Tensor<T>& ln_gamma,
   auto dov = View<T, 4>::Bind(d_out, ld.names);
   const std::int64_t n = ld.extents[3];
   const float inv_n = 1.0f / static_cast<float>(n);
-  detail::DispatchUnit(detail::UnitInner(dyv, gv, xv, mv, drv, dov),
-                       [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto dyr = RowOf<kU>(dyv, a, b, c);
-      const auto gr = RowOf<kU>(gv, a, b, c);
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto mr = RowOf<kU>(mv, a, b, c);
-      const auto drr = RowOf<kU>(drv, a, b, c);
-      const auto dor = RowOf<kU>(dov, a, b, c);
-      const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
-      const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
-      float sum_g = 0, sum_gx = 0;
-      for (std::int64_t k = 0; k < n; ++k) {
-        const float g = float(dyr[k]) * float(gr[k]);
-        const float xhat = (float(xr[k]) - mu) * rs;
-        sum_g += g;
-        sum_gx += g * xhat;
-      }
-      const float mean_g = sum_g * inv_n;
-      const float mean_gx = sum_gx * inv_n;
-      for (std::int64_t k = 0; k < n; ++k) {
-        const float g = float(dyr[k]) * float(gr[k]);
-        const float xhat = (float(xr[k]) - mu) * rs;
-        const T dr = T(rs * (g - mean_g - xhat * mean_gx));
-        drr[k] = dr;
-        dor[k] = T(float(dr) * float(mr[k]) * keep_scale);
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [&, n, keep_scale, inv_n](std::int64_t a, std::int64_t b,
+                                std::int64_t c, const auto& dyr,
+                                const auto& gr, const auto& xr,
+                                const auto& mr, const auto& drr,
+                                const auto& dor) {
+        const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+        const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+        float sum_g = 0, sum_gx = 0;
+        RowNormDots(dyr, gr, xr, mu, rs, n, &sum_g, &sum_gx);
+        const float mean_g = sum_g * inv_n;
+        const float mean_gx = sum_gx * inv_n;
+        XFLOW_SIMD
+        for (std::int64_t k = 0; k < n; ++k) {
+          const float g = float(dyr[k]) * float(gr[k]);
+          const float xhat = (float(xr[k]) - mu) * rs;
+          const T dr = T(rs * (g - mean_g - xhat * mean_gx));
+          drr[k] = dr;
+          dor[k] = T(float(dr) * float(mr[k]) * keep_scale);
+        }
+      },
+      In{dyv}, In{gv}, In{xv}, In{mv}, Out{drv}, Out{dov});
 }
 
 template <typename T>
@@ -235,27 +227,24 @@ void BiasDropoutReluBiasBackward(const Tensor<T>& dy_hi,
     auto dxv = View<T, 4>::Bind(d_x_lo, ld.names);
     auto dbv = View<T, 4>::Bind(d_bias_lo, ld.names);
     const std::int64_t n = ld.extents[3];
-    detail::DispatchUnit(detail::UnitInner(dyv, mv, rv, dxv), [&](auto unit) {
-      constexpr bool kU = decltype(unit)::value;
-      ParallelReduceRows(ld.extents, acc,
-                         [&](auto a, auto b, auto c, float* part) {
-        const auto dyr = RowOf<kU>(dyv, a, b, c);
-        const auto mr = RowOf<kU>(mv, a, b, c);
-        const auto rr = RowOf<kU>(rv, a, b, c);
-        const auto dxr = RowOf<kU>(dxv, a, b, c);
-        const std::int64_t base = Off(dbv, a, b, c, 0);
-        for (std::int64_t d = 0; d < n; ++d) {
-          // Match unfused pipeline: dropout dX result is rounded to T
-          // before the ReLU gate, as it would be when written to memory.
-          const float dd =
-              float(T(float(dyr[d]) * float(mr[d]) * keep_scale));
-          const bool active = float(rr[d]) > 0.0f;
-          const T dx = active ? T(dd) : T(0.0f);
-          dxr[d] = dx;
-          part[base + d * dbv.stride[3]] += float(dx);
-        }
-      });
-    });
+    ForEachRowReduce(
+        ld, acc,
+        [&, n, keep_scale](std::int64_t a, std::int64_t b, std::int64_t c,
+                           float* part, const auto& dyr, const auto& mr,
+                           const auto& rr, const auto& dxr) {
+          const std::int64_t base = Off(dbv, a, b, c, 0);
+          for (std::int64_t d = 0; d < n; ++d) {
+            // Match unfused pipeline: dropout dX result is rounded to T
+            // before the ReLU gate, as it would be when written to memory.
+            const float dd =
+                float(T(float(dyr[d]) * float(mr[d]) * keep_scale));
+            const bool active = float(rr[d]) > 0.0f;
+            const T dx = active ? T(dd) : T(0.0f);
+            dxr[d] = dx;
+            part[base + d * dbv.stride[3]] += float(dx);
+          }
+        },
+        In{dyv}, In{mv}, In{rv}, Out{dxv});
     for (std::int64_t i = 0; i < d_bias_lo.size(); ++i) {
       d_bias_lo.data()[i] = T(acc[static_cast<std::size_t>(i)]);
     }
@@ -282,25 +271,23 @@ void ResidualLayerNormDwBackward(const Tensor<T>& da, const Tensor<T>& db,
   // combine tree as LayerNormBackwardDW, which this kernel must match
   // exactly. The d_sum writes are row-exclusive.
   std::vector<float> acc(static_cast<std::size_t>(2 * n), 0.0f);
-  detail::DispatchUnit(detail::UnitInner(dav, dbv, xv, dsv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelReduceRows(ld.extents, acc,
-                       [&](auto a, auto b, auto c, float* part) {
-      const auto dar = RowOf<kU>(dav, a, b, c);
-      const auto dbr = RowOf<kU>(dbv, a, b, c);
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto dsr = RowOf<kU>(dsv, a, b, c);
-      const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
-      const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
-      for (std::int64_t k = 0; k < n; ++k) {
-        const T ds = T(float(dar[k]) + float(dbr[k]));
-        dsr[k] = ds;
-        const float xhat = (float(xr[k]) - mu) * rs;
-        part[k] += float(ds) * xhat;
-        part[n + k] += float(ds);
-      }
-    });
-  });
+  ForEachRowReduce(
+      ld, acc,
+      [&, n](std::int64_t a, std::int64_t b, std::int64_t c, float* part,
+             const auto& dar, const auto& dbr, const auto& xr,
+             const auto& dsr) {
+        const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+        const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+        XFLOW_SIMD
+        for (std::int64_t k = 0; k < n; ++k) {
+          const T ds = T(float(dar[k]) + float(dbr[k]));
+          dsr[k] = ds;
+          const float xhat = (float(xr[k]) - mu) * rs;
+          part[k] += float(ds) * xhat;
+          part[n + k] += float(ds);
+        }
+      },
+      In{dav}, In{dbv}, In{xv}, Out{dsv});
   for (std::int64_t k = 0; k < n; ++k) {
     dgamma.data()[k] = T(acc[static_cast<std::size_t>(k)]);
     dbeta.data()[k] = T(acc[static_cast<std::size_t>(n + k)]);

@@ -7,11 +7,14 @@
 
 namespace xflow::ops {
 
+using detail::ForEachRow;
+using detail::ForEachRowReduce;
+using detail::In;
 using detail::LoopWithInnermost;
 using detail::Off;
-using detail::ParallelReduceRows;
-using detail::ParallelRows;
-using detail::RowOf;
+using detail::Out;
+using detail::RowMoments;
+using detail::RowNormDots;
 
 template <typename T>
 void LayerNormForward(const Tensor<T>& x, const Tensor<T>& gamma,
@@ -26,29 +29,24 @@ void LayerNormForward(const Tensor<T>& x, const Tensor<T>& gamma,
   auto rstdv = View<float, 4>::Bind(rstd, ld.names);
   const std::int64_t n = ld.extents[3];
   const float inv_n = 1.0f / static_cast<float>(n);
-  detail::DispatchUnit(detail::UnitInner(xv, gv, bv, yv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto gr = RowOf<kU>(gv, a, b, c);
-      const auto br = RowOf<kU>(bv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      float sum = 0, sum_sq = 0;
-      for (std::int64_t k = 0; k < n; ++k) {
-        const float v = float(xr[k]);
-        sum += v;
-        sum_sq += v * v;
-      }
-      const float mu = sum * inv_n;
-      const float var = std::max(sum_sq * inv_n - mu * mu, 0.0f);
-      const float rs = 1.0f / std::sqrt(var + eps);
-      meanv.ptr[Off(meanv, a, b, c, 0)] = mu;
-      rstdv.ptr[Off(rstdv, a, b, c, 0)] = rs;
-      for (std::int64_t k = 0; k < n; ++k) {
-        yr[k] = T((float(xr[k]) - mu) * rs * float(gr[k]) + float(br[k]));
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [&, n, eps, inv_n](std::int64_t a, std::int64_t b, std::int64_t c,
+                         const auto& xr, const auto& gr, const auto& br,
+                         const auto& yr) {
+        float sum = 0, sum_sq = 0;
+        RowMoments(xr, n, &sum, &sum_sq);
+        const float mu = sum * inv_n;
+        const float var = std::max(sum_sq * inv_n - mu * mu, 0.0f);
+        const float rs = 1.0f / std::sqrt(var + eps);
+        meanv.ptr[Off(meanv, a, b, c, 0)] = mu;
+        rstdv.ptr[Off(rstdv, a, b, c, 0)] = rs;
+        XFLOW_SIMD
+        for (std::int64_t k = 0; k < n; ++k) {
+          yr[k] = T((float(xr[k]) - mu) * rs * float(gr[k]) + float(br[k]));
+        }
+      },
+      In{xv}, In{gv}, In{bv}, Out{yv});
 }
 
 template <typename T>
@@ -64,31 +62,25 @@ void LayerNormBackwardDX(const Tensor<T>& dy, const Tensor<T>& gamma,
   auto dxv = View<T, 4>::Bind(dx, ld.names);
   const std::int64_t n = ld.extents[3];
   const float inv_n = 1.0f / static_cast<float>(n);
-  detail::DispatchUnit(detail::UnitInner(dyv, gv, xv, dxv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto dyr = RowOf<kU>(dyv, a, b, c);
-      const auto gr = RowOf<kU>(gv, a, b, c);
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto dxr = RowOf<kU>(dxv, a, b, c);
-      const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
-      const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
-      float sum_g = 0, sum_gx = 0;
-      for (std::int64_t k = 0; k < n; ++k) {
-        const float g = float(dyr[k]) * float(gr[k]);
-        const float xhat = (float(xr[k]) - mu) * rs;
-        sum_g += g;
-        sum_gx += g * xhat;
-      }
-      const float mean_g = sum_g * inv_n;
-      const float mean_gx = sum_gx * inv_n;
-      for (std::int64_t k = 0; k < n; ++k) {
-        const float g = float(dyr[k]) * float(gr[k]);
-        const float xhat = (float(xr[k]) - mu) * rs;
-        dxr[k] = T(rs * (g - mean_g - xhat * mean_gx));
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [&, n, inv_n](std::int64_t a, std::int64_t b, std::int64_t c,
+                    const auto& dyr, const auto& gr, const auto& xr,
+                    const auto& dxr) {
+        const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+        const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+        float sum_g = 0, sum_gx = 0;
+        RowNormDots(dyr, gr, xr, mu, rs, n, &sum_g, &sum_gx);
+        const float mean_g = sum_g * inv_n;
+        const float mean_gx = sum_gx * inv_n;
+        XFLOW_SIMD
+        for (std::int64_t k = 0; k < n; ++k) {
+          const float g = float(dyr[k]) * float(gr[k]);
+          const float xhat = (float(xr[k]) - mu) * rs;
+          dxr[k] = T(rs * (g - mean_g - xhat * mean_gx));
+        }
+      },
+      In{dyv}, In{gv}, In{xv}, Out{dxv});
 }
 
 template <typename T>
@@ -106,22 +98,21 @@ void LayerNormBackwardDW(const Tensor<T>& dy, const Tensor<T>& x,
   const std::int64_t n = ld.extents[3];
   // Accumulator layout: [0, n) = dgamma, [n, 2n) = dbeta.
   std::vector<float> acc(static_cast<std::size_t>(2 * n), 0.0f);
-  detail::DispatchUnit(detail::UnitInner(dyv, xv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelReduceRows(ld.extents, acc,
-                       [&](auto a, auto b, auto c, float* part) {
-      const auto dyr = RowOf<kU>(dyv, a, b, c);
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
-      const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
-      for (std::int64_t k = 0; k < n; ++k) {
-        const float d = float(dyr[k]);
-        const float xhat = (float(xr[k]) - mu) * rs;
-        part[k] += d * xhat;
-        part[n + k] += d;
-      }
-    });
-  });
+  ForEachRowReduce(
+      ld, acc,
+      [&, n](std::int64_t a, std::int64_t b, std::int64_t c, float* part,
+             const auto& dyr, const auto& xr) {
+        const float mu = meanv.ptr[Off(meanv, a, b, c, 0)];
+        const float rs = rstdv.ptr[Off(rstdv, a, b, c, 0)];
+        XFLOW_SIMD
+        for (std::int64_t k = 0; k < n; ++k) {
+          const float d = float(dyr[k]);
+          const float xhat = (float(xr[k]) - mu) * rs;
+          part[k] += d * xhat;
+          part[n + k] += d;
+        }
+      },
+      In{dyv}, In{xv});
   for (std::int64_t k = 0; k < n; ++k) {
     dgamma.data()[k] = T(acc[static_cast<std::size_t>(k)]);
     dbeta.data()[k] = T(acc[static_cast<std::size_t>(n + k)]);

@@ -1,16 +1,19 @@
 #include "ops/softmax.hpp"
 
 #include <cmath>
-#include <limits>
 
 #include "ops/detail.hpp"
 
 namespace xflow::ops {
 
 using detail::Dot;
+using detail::ForEachRow;
+using detail::In;
 using detail::LoopWithInnermost;
-using detail::ParallelRows;
-using detail::RowOf;
+using detail::Out;
+using detail::RowDot;
+using detail::RowDropoutDot;
+using detail::RowMax;
 
 template <typename T>
 void SoftmaxForward(const Tensor<T>& x, char reduce_dim, Tensor<T>& y) {
@@ -18,25 +21,21 @@ void SoftmaxForward(const Tensor<T>& x, char reduce_dim, Tensor<T>& y) {
   auto xv = View<const T, 4>::Bind(x, ld.names);
   auto yv = View<T, 4>::Bind(y, ld.names);
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(xv, yv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto xr = RowOf<kU>(xv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      float max_v = -std::numeric_limits<float>::infinity();
-      for (std::int64_t k = 0; k < n; ++k) {
-        max_v = std::max(max_v, float(xr[k]));
-      }
-      float sum = 0;
-      for (std::int64_t k = 0; k < n; ++k) {
-        sum += std::exp(float(xr[k]) - max_v);
-      }
-      const float inv = 1.0f / sum;
-      for (std::int64_t k = 0; k < n; ++k) {
-        yr[k] = T(std::exp(float(xr[k]) - max_v) * inv);
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [n](std::int64_t, std::int64_t, std::int64_t, const auto& xr,
+          const auto& yr) {
+        const float max_v = RowMax(xr, n, 1.0f);
+        float sum = 0;
+        for (std::int64_t k = 0; k < n; ++k) {
+          sum += std::exp(float(xr[k]) - max_v);
+        }
+        const float inv = 1.0f / sum;
+        for (std::int64_t k = 0; k < n; ++k) {
+          yr[k] = T(std::exp(float(xr[k]) - max_v) * inv);
+        }
+      },
+      In{xv}, Out{yv});
 }
 
 template <typename T>
@@ -51,33 +50,29 @@ void ScaledSoftmaxForward(const Tensor<T>& beta, char reduce_dim, float scale,
   const auto canon = CanonicalStrides(alpha.shape(), ld.names);
   const float keep_scale = mask.Scale();
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(bv, av, mv, sv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto br = RowOf<kU>(bv, a, b, c);
-      const auto ar = RowOf<kU>(av, a, b, c);
-      const auto mr = RowOf<kU>(mv, a, b, c);
-      const auto sr = RowOf<kU>(sv, a, b, c);
-      const std::int64_t base = Dot(canon, a, b, c, 0);
-      float max_v = -std::numeric_limits<float>::infinity();
-      for (std::int64_t k = 0; k < n; ++k) {
-        max_v = std::max(max_v, scale * float(br[k]));
-      }
-      float sum = 0;
-      for (std::int64_t k = 0; k < n; ++k) {
-        sum += std::exp(scale * float(br[k]) - max_v);
-      }
-      const float inv = 1.0f / sum;
-      for (std::int64_t k = 0; k < n; ++k) {
-        const float soft = std::exp(scale * float(br[k]) - max_v) * inv;
-        const bool keep =
-            mask.Keep(static_cast<std::uint64_t>(base + k * canon[3]));
-        sr[k] = T(soft);
-        mr[k] = T(keep ? 1.0f : 0.0f);
-        ar[k] = T(keep ? soft * keep_scale : 0.0f);
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [&, n, scale, keep_scale](std::int64_t a, std::int64_t b,
+                                std::int64_t c, const auto& br,
+                                const auto& ar, const auto& mr,
+                                const auto& sr) {
+        const std::int64_t base = Dot(canon, a, b, c, 0);
+        const float max_v = RowMax(br, n, scale);
+        float sum = 0;
+        for (std::int64_t k = 0; k < n; ++k) {
+          sum += std::exp(scale * float(br[k]) - max_v);
+        }
+        const float inv = 1.0f / sum;
+        for (std::int64_t k = 0; k < n; ++k) {
+          const float soft = std::exp(scale * float(br[k]) - max_v) * inv;
+          const bool keep =
+              mask.Keep(static_cast<std::uint64_t>(base + k * canon[3]));
+          sr[k] = T(soft);
+          mr[k] = T(keep ? 1.0f : 0.0f);
+          ar[k] = T(keep ? soft * keep_scale : 0.0f);
+        }
+      },
+      In{bv}, Out{av}, Out{mv}, Out{sv});
 }
 
 template <typename T>
@@ -101,38 +96,33 @@ void CausalScaledSoftmaxForward(const Tensor<T>& beta, char reduce_dim,
   const auto canon = CanonicalStrides(alpha.shape(), ld.names);
   const float keep_scale = mask.Scale();
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(bv, av, mv, sv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto br = RowOf<kU>(bv, a, b, c);
-      const auto ar = RowOf<kU>(av, a, b, c);
-      const auto mr = RowOf<kU>(mv, a, b, c);
-      const auto sr = RowOf<kU>(sv, a, b, c);
-      const std::int64_t base = Dot(canon, a, b, c, 0);
-      const std::int64_t q = query_slot == 0 ? a : query_slot == 1 ? b : c;
-      const std::int64_t visible = std::min(q + 1, n);
-      float max_v = -std::numeric_limits<float>::infinity();
-      for (std::int64_t k = 0; k < visible; ++k) {
-        max_v = std::max(max_v, scale * float(br[k]));
-      }
-      float sum = 0;
-      for (std::int64_t k = 0; k < visible; ++k) {
-        sum += std::exp(scale * float(br[k]) - max_v);
-      }
-      const float inv = 1.0f / sum;
-      for (std::int64_t k = 0; k < n; ++k) {
-        float soft = 0;
-        if (k < visible) {
-          soft = std::exp(scale * float(br[k]) - max_v) * inv;
+  ForEachRow(
+      ld,
+      [&, n, scale, keep_scale, query_slot](
+          std::int64_t a, std::int64_t b, std::int64_t c, const auto& br,
+          const auto& ar, const auto& mr, const auto& sr) {
+        const std::int64_t base = Dot(canon, a, b, c, 0);
+        const std::int64_t q = query_slot == 0 ? a : query_slot == 1 ? b : c;
+        const std::int64_t visible = std::min(q + 1, n);
+        const float max_v = RowMax(br, visible, scale);
+        float sum = 0;
+        for (std::int64_t k = 0; k < visible; ++k) {
+          sum += std::exp(scale * float(br[k]) - max_v);
         }
-        const bool keep =
-            mask.Keep(static_cast<std::uint64_t>(base + k * canon[3]));
-        sr[k] = T(soft);
-        mr[k] = T(keep ? 1.0f : 0.0f);
-        ar[k] = T(keep && k < visible ? soft * keep_scale : 0.0f);
-      }
-    });
-  });
+        const float inv = 1.0f / sum;
+        for (std::int64_t k = 0; k < n; ++k) {
+          float soft = 0;
+          if (k < visible) {
+            soft = std::exp(scale * float(br[k]) - max_v) * inv;
+          }
+          const bool keep =
+              mask.Keep(static_cast<std::uint64_t>(base + k * canon[3]));
+          sr[k] = T(soft);
+          mr[k] = T(keep ? 1.0f : 0.0f);
+          ar[k] = T(keep && k < visible ? soft * keep_scale : 0.0f);
+        }
+      },
+      In{bv}, Out{av}, Out{mv}, Out{sv});
 }
 
 template <typename T>
@@ -143,21 +133,17 @@ void SoftmaxBackwardDX(const Tensor<T>& dy, const Tensor<T>& y,
   auto yv = View<const T, 4>::Bind(y, ld.names);
   auto dxv = View<T, 4>::Bind(dx, ld.names);
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(dyv, yv, dxv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto dyr = RowOf<kU>(dyv, a, b, c);
-      const auto yr = RowOf<kU>(yv, a, b, c);
-      const auto dxr = RowOf<kU>(dxv, a, b, c);
-      float inner = 0;
-      for (std::int64_t k = 0; k < n; ++k) {
-        inner += float(dyr[k]) * float(yr[k]);
-      }
-      for (std::int64_t k = 0; k < n; ++k) {
-        dxr[k] = T(float(yr[k]) * (float(dyr[k]) - inner));
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [n](std::int64_t, std::int64_t, std::int64_t, const auto& dyr,
+          const auto& yr, const auto& dxr) {
+        const float inner = RowDot(dyr, yr, n);
+        XFLOW_SIMD
+        for (std::int64_t k = 0; k < n; ++k) {
+          dxr[k] = T(float(yr[k]) * (float(dyr[k]) - inner));
+        }
+      },
+      In{dyv}, In{yv}, Out{dxv});
 }
 
 template <typename T>
@@ -171,26 +157,21 @@ void ScaledSoftmaxBackwardDX(const Tensor<T>& d_alpha, const Tensor<T>& mask,
   auto sv = View<const T, 4>::Bind(softmax_saved, ld.names);
   auto dbv = View<T, 4>::Bind(d_beta, ld.names);
   const std::int64_t n = ld.extents[3];
-  detail::DispatchUnit(detail::UnitInner(dav, mv, sv, dbv), [&](auto unit) {
-    constexpr bool kU = decltype(unit)::value;
-    ParallelRows(ld.extents, [&](auto a, auto b, auto c) {
-      const auto dar = RowOf<kU>(dav, a, b, c);
-      const auto mr = RowOf<kU>(mv, a, b, c);
-      const auto sr = RowOf<kU>(sv, a, b, c);
-      const auto dbr = RowOf<kU>(dbv, a, b, c);
-      // ds = d_alpha through dropout; inner = sum(ds * s).
-      float inner = 0;
-      for (std::int64_t k = 0; k < n; ++k) {
-        const float ds = float(dar[k]) * float(mr[k]) * keep_scale;
-        inner += ds * float(sr[k]);
-      }
-      for (std::int64_t k = 0; k < n; ++k) {
-        const float ds = float(dar[k]) * float(mr[k]) * keep_scale;
-        const float s = float(sr[k]);
-        dbr[k] = T(scale * s * (ds - inner));
-      }
-    });
-  });
+  ForEachRow(
+      ld,
+      [n, scale, keep_scale](std::int64_t, std::int64_t, std::int64_t,
+                             const auto& dar, const auto& mr, const auto& sr,
+                             const auto& dbr) {
+        // ds = d_alpha through dropout; inner = sum(ds * s).
+        const float inner = RowDropoutDot(dar, mr, sr, keep_scale, n);
+        XFLOW_SIMD
+        for (std::int64_t k = 0; k < n; ++k) {
+          const float ds = float(dar[k]) * float(mr[k]) * keep_scale;
+          const float s = float(sr[k]);
+          dbr[k] = T(scale * s * (ds - inner));
+        }
+      },
+      In{dav}, In{mv}, In{sv}, Out{dbv});
 }
 
 #define XFLOW_INSTANTIATE_SOFTMAX(T)                                          \

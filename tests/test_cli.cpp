@@ -35,6 +35,61 @@ TEST(Cli, FlagsWithAndWithoutValues) {
   EXPECT_TRUE(p.GetFlag("causal"));
 }
 
+TEST(Cli, FlagValuesAreCaseInsensitive) {
+  auto p = Parse({"--a=False", "--b=FALSE", "--c=Off", "--d=NO",
+                  "--e=True", "--f=ON", "--g=Yes"});
+  EXPECT_FALSE(p.GetFlag("a"));
+  EXPECT_FALSE(p.GetFlag("b"));
+  EXPECT_FALSE(p.GetFlag("c"));
+  EXPECT_FALSE(p.GetFlag("d"));
+  EXPECT_TRUE(p.GetFlag("e"));
+  EXPECT_TRUE(p.GetFlag("f"));
+  EXPECT_TRUE(p.GetFlag("g"));
+}
+
+TEST(Cli, FlagOffAndNoSpellingsAreFalse) {
+  auto p = Parse({"--x=off", "--y=no", "--z=0"});
+  EXPECT_FALSE(p.GetFlag("x"));
+  EXPECT_FALSE(p.GetFlag("y"));
+  EXPECT_FALSE(p.GetFlag("z"));
+}
+
+TEST(Cli, UnrecognizedFlagValueThrows) {
+  auto p = Parse({"--fused=maybe", "--causal=2"});
+  EXPECT_THROW((void)p.GetFlag("fused"), InvalidArgument);
+  EXPECT_THROW((void)p.GetFlag("causal"), InvalidArgument);
+}
+
+TEST(Cli, IntTrailingGarbageThrows) {
+  auto p = Parse({"--batch=8x", "--hex=0x10", "--pad=12 "});
+  EXPECT_THROW((void)p.GetInt("batch", 1), InvalidArgument);
+  EXPECT_THROW((void)p.GetInt("hex", 1), InvalidArgument);
+  EXPECT_THROW((void)p.GetInt("pad", 1), InvalidArgument);
+}
+
+TEST(Cli, IntRangeAndSigns) {
+  auto p = Parse({"--huge=99999999999999999999999", "--neg=-3", "--pos=+5",
+                  "--empty="});
+  EXPECT_THROW((void)p.GetInt("huge", 1), InvalidArgument);
+  EXPECT_EQ(p.GetInt("neg", 1), -3);
+  EXPECT_EQ(p.GetInt("pos", 1), 5);
+  EXPECT_THROW((void)p.GetInt("empty", 1), InvalidArgument);
+}
+
+TEST(Cli, DoubleTrailingGarbageAndOverflowThrow) {
+  auto p = Parse({"--lr=1.5GB", "--big=1e999", "--sci=2.5e-3"});
+  EXPECT_THROW((void)p.GetDouble("lr", 1.0), InvalidArgument);
+  EXPECT_THROW((void)p.GetDouble("big", 1.0), InvalidArgument);
+  EXPECT_DOUBLE_EQ(p.GetDouble("sci", 1.0), 2.5e-3);
+}
+
+TEST(Cli, DoubleRejectsInfAndNan) {
+  auto p = Parse({"--a=inf", "--b=-inf", "--c=nan"});
+  EXPECT_THROW((void)p.GetDouble("a", 1.0), InvalidArgument);
+  EXPECT_THROW((void)p.GetDouble("b", 1.0), InvalidArgument);
+  EXPECT_THROW((void)p.GetDouble("c", 1.0), InvalidArgument);
+}
+
 TEST(Cli, PositionalArgumentsPreserved) {
   auto p = Parse({"input.bin", "--x=1", "output.bin"});
   ASSERT_EQ(p.positional().size(), 2u);

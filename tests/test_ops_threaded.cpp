@@ -351,5 +351,162 @@ TEST_F(OpsThreadedDeterminism, AttnInputBiasForwardAndBackward) {
       });
 }
 
+// ----------------------- strided (staged) vs contiguous, bitwise
+
+// The transpose-on-the-fly path stages strided rows through per-thread
+// scratch tiles but runs the *same* body instantiation as the contiguous
+// fast path, so a kernel must produce bitwise-identical values on every
+// layout -- at every thread count. Extents are chosen to exercise partial
+// tiles (rows not a multiple of the tile height) and multiple gather
+// column blocks (innermost extent > 64).
+
+/// Bitwise comparison of `t` against `ref` after canonicalizing `t` to
+/// ref's dimension order (a pure copy -- Permuted reorders elements).
+template <typename T>
+::testing::AssertionResult SameCanonical(const Tensor<T>& ref,
+                                         const Tensor<T>& t) {
+  return BitwiseSame(ref, t.Permuted(ref.dim_order()));
+}
+
+template <typename T>
+void StridedLayerNormMatchesContiguous(const char* strided_layout) {
+  const Shape contig("bji", {5, 27, 130});  // i innermost, n = 130
+  const Shape stat("bj", {5, 27});
+  auto x = Tensor<T>::Random(contig, 41);
+  auto gamma = Tensor<T>::Random(Shape("i", {130}), 42);
+  auto beta = Tensor<T>::Random(Shape("i", {130}), 43);
+  auto dy = Tensor<T>::Random(contig, 44);
+  Tensor<T> y(contig), dx(contig);
+  Tensor<T> dgamma(Shape("i", {130})), dbeta(Shape("i", {130}));
+  TensorF mean(stat), rstd(stat);
+  ThreadPool::SetGlobalThreads(1);
+  ops::LayerNormForward(x, gamma, beta, 'i', 1e-5f, y, mean, rstd);
+  ops::LayerNormBackwardDX(dy, gamma, x, mean, rstd, 'i', dx);
+  ops::LayerNormBackwardDW(dy, x, mean, rstd, 'i', dgamma, dbeta);
+
+  const auto xs = x.Permuted(strided_layout);
+  const auto dys = dy.Permuted(strided_layout);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+    Tensor<T> ys(xs.shape()), dxs(xs.shape());
+    Tensor<T> dgs(Shape("i", {130})), dbs(Shape("i", {130}));
+    TensorF means(stat), rstds(stat);
+    ops::LayerNormForward(xs, gamma, beta, 'i', 1e-5f, ys, means, rstds);
+    ops::LayerNormBackwardDX(dys, gamma, xs, means, rstds, 'i', dxs);
+    ops::LayerNormBackwardDW(dys, xs, means, rstds, 'i', dgs, dbs);
+    EXPECT_TRUE(SameCanonical(y, ys)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(BitwiseSame(mean, means)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(BitwiseSame(rstd, rstds)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(dx, dxs)) << strided_layout << " t=" << threads;
+    // Cross-row reductions fold rows in the output's memory order, so a
+    // layout change regroups the fp32 sums: dgamma/dbeta are equal to
+    // rounding (they stay bitwise stable across thread counts and between
+    // fused/unfused on any *fixed* layout -- covered above).
+    EXPECT_LT(MaxAbsDiff(dgamma, dgs), 1e-4)
+        << strided_layout << " t=" << threads;
+    EXPECT_LT(MaxAbsDiff(dbeta, dbs), 1e-4)
+        << strided_layout << " t=" << threads;
+  }
+}
+
+TEST_F(OpsThreadedDeterminism, StridedLayerNormBitwiseHalf) {
+  StridedLayerNormMatchesContiguous<Half>("ijb");
+  StridedLayerNormMatchesContiguous<Half>("jib");
+}
+
+TEST_F(OpsThreadedDeterminism, StridedLayerNormBitwiseFloat) {
+  StridedLayerNormMatchesContiguous<float>("ijb");
+}
+
+template <typename T>
+void StridedSoftmaxMatchesContiguous(const char* strided_layout) {
+  const Shape contig("hbjk", {2, 3, 9, 70});  // k innermost
+  auto x = Tensor<T>::Random(contig, 51);
+  auto dy = Tensor<T>::Random(contig, 52);
+  DropoutMask mask(53, 0.2f);
+  Tensor<T> y(contig), alpha(contig), m(contig), saved(contig), dx(contig),
+      dbeta(contig);
+  ThreadPool::SetGlobalThreads(1);
+  ops::SoftmaxForward(x, 'k', y);
+  ops::ScaledSoftmaxForward(x, 'k', 0.125f, mask, alpha, m, saved);
+  ops::SoftmaxBackwardDX(dy, y, 'k', dx);
+  ops::ScaledSoftmaxBackwardDX(dy, m, saved, 'k', 0.125f, mask.Scale(),
+                               dbeta);
+
+  const auto xs = x.Permuted(strided_layout);
+  const auto dys = dy.Permuted(strided_layout);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+    Tensor<T> ys(xs.shape()), as(xs.shape()), ms(xs.shape()),
+        ss(xs.shape()), dxs(xs.shape()), dbs(xs.shape());
+    ops::SoftmaxForward(xs, 'k', ys);
+    ops::ScaledSoftmaxForward(xs, 'k', 0.125f, mask, as, ms, ss);
+    ops::SoftmaxBackwardDX(dys, ys, 'k', dxs);
+    ops::ScaledSoftmaxBackwardDX(dys, ms, ss, 'k', 0.125f, mask.Scale(),
+                                 dbs);
+    EXPECT_TRUE(SameCanonical(y, ys)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(alpha, as)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(m, ms)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(saved, ss)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(dx, dxs)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(dbeta, dbs)) << strided_layout << " t=" << threads;
+  }
+}
+
+TEST_F(OpsThreadedDeterminism, StridedSoftmaxBitwiseHalf) {
+  StridedSoftmaxMatchesContiguous<Half>("kjbh");
+}
+
+TEST_F(OpsThreadedDeterminism, StridedSoftmaxBitwiseFloat) {
+  StridedSoftmaxMatchesContiguous<float>("kbhj");
+}
+
+template <typename T>
+void StridedFusedMatchesContiguous(const char* strided_layout) {
+  const Shape contig("bji", {4, 9, 96});  // i innermost
+  const Shape stat("bj", {4, 9});
+  auto x = Tensor<T>::Random(contig, 61);
+  auto resid_in = Tensor<T>::Random(contig, 62);
+  auto bias = Tensor<T>::Random(Shape("i", {96}), 63);
+  auto gamma = Tensor<T>::Random(Shape("i", {96}), 64);
+  auto beta = Tensor<T>::Random(Shape("i", {96}), 65);
+  DropoutMask mask(67, 0.25f);
+  Tensor<T> relu(contig), brd_y(contig), brd_m(contig);
+  Tensor<T> resid(contig), m(contig), y(contig);
+  TensorF mean(stat), rstd(stat);
+  ThreadPool::SetGlobalThreads(1);
+  ops::BiasReluDropout(x, bias, mask, relu, brd_y, brd_m);
+  ops::BiasDropoutResidualLayerNorm(x, bias, resid_in, mask, gamma, beta,
+                                    'i', 1e-5f, resid, m, y, mean, rstd);
+
+  const auto xs = x.Permuted(strided_layout);
+  const auto rins = resid_in.Permuted(strided_layout);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+    Tensor<T> relus(xs.shape()), brd_ys(xs.shape()), brd_ms(xs.shape());
+    Tensor<T> resids(xs.shape()), ms(xs.shape()), ys(xs.shape());
+    TensorF means(stat), rstds(stat);
+    ops::BiasReluDropout(xs, bias, mask, relus, brd_ys, brd_ms);
+    ops::BiasDropoutResidualLayerNorm(xs, bias, rins, mask, gamma, beta, 'i',
+                                      1e-5f, resids, ms, ys, means, rstds);
+    EXPECT_TRUE(SameCanonical(relu, relus)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(brd_y, brd_ys)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(brd_m, brd_ms)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(resid, resids)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(m, ms)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(SameCanonical(y, ys)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(BitwiseSame(mean, means)) << strided_layout << " t=" << threads;
+    EXPECT_TRUE(BitwiseSame(rstd, rstds)) << strided_layout << " t=" << threads;
+  }
+}
+
+TEST_F(OpsThreadedDeterminism, StridedFusedBitwiseHalf) {
+  StridedFusedMatchesContiguous<Half>("ijb");
+}
+
+TEST_F(OpsThreadedDeterminism, StridedFusedBitwiseFloat) {
+  StridedFusedMatchesContiguous<float>("ibj");
+}
+
 }  // namespace
 }  // namespace xflow

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Diff a fresh micro-kernel bench run against the committed perf baseline.
+
+Usage:
+    ./build/micro_cpu_kernels --json=BENCH_new.json
+    python3 tools/perf_trend.py --baseline BENCH_ops.json \
+        --current BENCH_new.json [--tolerance 0.35]
+
+Compares ns_per_iter per benchmark name and prints a trend table. Rows
+outside the tolerance band are reported as GitHub Actions `::warning::`
+annotations (warn-only: shared CI runners are far too noisy for a hard
+gate; the committed baseline is regenerated deliberately, in the PR that
+changes performance). The exit code is nonzero only for structural
+problems -- missing files or unparsable JSON -- never for slow rows.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            rows = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_trend: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    out = {}
+    for row in rows:
+        try:
+            out[row["name"]] = float(row["ns_per_iter"])
+        except (KeyError, TypeError, ValueError) as e:
+            print(f"perf_trend: malformed row in {path}: {row!r} ({e})",
+                  file=sys.stderr)
+            sys.exit(1)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (BENCH_ops.json)")
+    ap.add_argument("--current", required=True,
+                    help="freshly generated JSON from --json")
+    ap.add_argument("--tolerance", type=float, default=0.35,
+                    help="allowed fractional slowdown before warning "
+                         "(default 0.35 = 35%%)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    width = max((len(n) for n in base | cur), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline ns':>14}  {'current ns':>14}"
+          f"  {'ratio':>7}")
+    warnings = 0
+    for name in sorted(base | cur):
+        b, c = base.get(name), cur.get(name)
+        if b is None:
+            print(f"{name:<{width}}  {'--':>14}  {c:>14.0f}      new")
+            print(f"::warning::perf-trend: {name} is not in the committed "
+                  f"baseline; regenerate BENCH_ops.json")
+            warnings += 1
+            continue
+        if c is None:
+            print(f"{name:<{width}}  {b:>14.0f}  {'--':>14}  missing")
+            print(f"::warning::perf-trend: {name} is in the baseline but "
+                  f"was not measured")
+            warnings += 1
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            flag = "  SLOWER"
+            print(f"::warning::perf-trend: {name} is {ratio:.2f}x the "
+                  f"baseline ({b:.0f} -> {c:.0f} ns/iter)")
+            warnings += 1
+        print(f"{name:<{width}}  {b:>14.0f}  {c:>14.0f}  {ratio:>7.2f}{flag}")
+    print(f"perf_trend: {warnings} warning(s), tolerance "
+          f"+{args.tolerance:.0%} (warn-only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
