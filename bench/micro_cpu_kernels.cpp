@@ -14,12 +14,19 @@
 // scales; `--json[=path]` dumps all results as a perf baseline.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bench_common.hpp"
 #include "common/threadpool.hpp"
+#include "graph/builder.hpp"
+#include "graph/memory_plan.hpp"
 #include "ops/elementwise.hpp"
 #include "ops/fused.hpp"
 #include "ops/layernorm.hpp"
 #include "ops/softmax.hpp"
+#include "transformer/arena.hpp"
+#include "transformer/stack.hpp"
+#include "transformer/training.hpp"
 
 namespace {
 
@@ -216,6 +223,87 @@ void BM_SoftmaxLayoutSensitivity(benchmark::State& state) {
 BENCHMARK(BM_SoftmaxLayoutSensitivity)
     ->Arg(1)   // k innermost (contiguous reduction)
     ->Arg(0);  // k strided (non-contiguous reduction)
+
+// ------------------------------------------------- memory planning cases
+
+void BM_MemoryPlanner(benchmark::State& state) {
+  // Planning cost on the BERT-base-shaped Fig. 2 graph (forward+backward),
+  // plus the planned-vs-naive peak bytes the perf-trend job tracks.
+  const auto g = xflow::graph::BuildEncoder(
+      xflow::graph::ModelDims::BertBase(),
+      xflow::graph::AlgebraicFusion::kQKV, /*include_backward=*/true);
+  const auto opts = xflow::transformer::EncoderPlanOptions<Half>();
+  std::size_t peak = 0, naive = 0;
+  for (auto _ : state) {
+    const auto plan = xflow::graph::PlanMemory(g, opts);
+    peak = plan.peak_bytes();
+    naive = plan.naive_bytes();
+    benchmark::DoNotOptimize(peak);
+  }
+  state.counters["peak_mb"] =
+      benchmark::Counter(static_cast<double>(peak) / 1048576.0);
+  state.counters["naive_mb"] =
+      benchmark::Counter(static_cast<double>(naive) / 1048576.0);
+}
+BENCHMARK(BM_MemoryPlanner);
+
+void BM_EncoderStackStep(benchmark::State& state) {
+  // A full steady-state train step (forward, loss, backward) on a small
+  // two-layer stack: planned (arena-backed, zero allocations) vs owning
+  // (per-tensor buffers). Single-threaded so the allocator/cache effect
+  // is what's measured, not pool scaling.
+  using namespace xflow::transformer;
+  ThreadGuard threads(1);
+  const bool planned = state.range(0) != 0;
+  EncoderConfig cfg;
+  cfg.dims.b = 2;
+  cfg.dims.j = cfg.dims.k = 32;
+  cfg.dims.h = 4;
+  cfg.dims.p = 16;
+  cfg.dims.i = 64;
+  cfg.dims.u = 128;
+  cfg.dropout_prob = 0.1f;
+  constexpr int kLayers = 2;
+  EncoderStackT<Half> stack(cfg, kLayers, 3);
+  EncoderStackWorkspaceT<Half> workspace(cfg, kLayers);
+  std::vector<EncoderActivationsT<Half>> acts;
+  std::vector<EncoderGradientsT<Half>> grads;
+  if (planned) stack.BindWorkspace(workspace, acts, grads);
+  const Shape ibj("ibj", {cfg.dims.i, cfg.dims.b, cfg.dims.j});
+  auto x = TensorH::Random(ibj, 5);
+  auto target = TensorH::Random(ibj, 6);
+  TensorH d_y(ibj);
+  for (auto _ : state) {
+    const auto& y = stack.Forward(x, acts);
+    benchmark::DoNotOptimize(MseLoss(y, target, d_y));
+    stack.Backward(d_y, acts, grads);
+    benchmark::DoNotOptimize(grads.front().d_x.data());
+  }
+  if (planned) {
+    state.counters["planned_mb"] = benchmark::Counter(
+        static_cast<double>(workspace.planned_bytes()) / 1048576.0);
+  }
+}
+BENCHMARK(BM_EncoderStackStep)->ArgName("planned")->Arg(0)->Arg(1);
+
+void BM_AdamStep(benchmark::State& state) {
+  // The mixed-precision optimizer update, now chunked on the pool.
+  using namespace xflow::transformer;
+  ThreadGuard threads(static_cast<int>(state.range(0)));
+  const Shape shape("x", {1 << 20});
+  auto master = TensorF::Random(shape, 1);
+  TensorH working = master.Cast<Half>();
+  auto grad = TensorH::Random(shape, 2);
+  MixedPrecisionAdam opt({.lr = 1e-4f});
+  for (auto _ : state) {
+    opt.Step("w", master, working, grad);
+    benchmark::DoNotOptimize(master.data());
+  }
+  // Read grad + m + v + master, write m + v + master + working.
+  state.SetBytesProcessed(state.iterations() * shape.num_elements() *
+                          (2 + 4 * 3 + 4 * 3 + 2));
+}
+BENCHMARK(BM_AdamStep)->ArgName("threads")->Arg(1)->Arg(8)->UseRealTime();
 
 /// Google Benchmark renamed Run::error_occurred to Run::skipped in v1.8;
 /// probe for whichever member this library version has.

@@ -27,6 +27,19 @@ struct ModelDims {
     d.j = d.k = 128;
     return d;
   }
+  /// BERT-base (Devlin et al.): 12 heads of 64, I=768, U=3072, with the
+  /// paper-style batch 8 over sequence length 128. The memory planner's
+  /// reported peak-activation reduction is quoted on this configuration.
+  static ModelDims BertBase() {
+    ModelDims d;
+    d.b = 8;
+    d.j = d.k = 128;
+    d.h = 12;
+    d.p = 64;
+    d.i = 768;
+    d.u = 3072;
+    return d;
+  }
   /// Reduced dimensions for unit tests (numerics are size-independent).
   static ModelDims Tiny() {
     ModelDims d;

@@ -1,0 +1,219 @@
+#include "graph/memory_plan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace xflow::graph {
+
+namespace {
+
+/// A placement unit: one container, or one packed group of containers.
+struct Unit {
+  std::string name;  // group name, or the tensor name for singles
+  std::vector<TensorPlacement> members;  // packed in order; offsets relative
+  std::size_t bytes = 0;                 // packed total
+  std::size_t base = 0;                  // slab offset once placed
+  int first_use = 0;
+  int last_use = 0;
+  bool pinned = false;
+};
+
+bool Overlaps(const Unit& a, const Unit& b) {
+  return a.first_use <= b.last_use && b.first_use <= a.last_use;
+}
+
+std::size_t AlignUp(std::size_t v, std::size_t alignment) {
+  return (v + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace
+
+const TensorPlacement& MemoryPlan::at(const std::string& name) const {
+  const auto it = placements_.find(name);
+  require(it != placements_.end(),
+          StrFormat("memory plan has no container '%s'", name.c_str()));
+  return it->second;
+}
+
+double MemoryPlan::Reduction() const {
+  if (naive_bytes_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(peak_bytes_) /
+                   static_cast<double>(naive_bytes_);
+}
+
+std::string MemoryPlan::Summary() const {
+  return StrFormat(
+      "planned %zu containers into %zu bytes (naive sum %zu, %.1f%% saved)",
+      placements_.size(), peak_bytes_, naive_bytes_, 100.0 * Reduction());
+}
+
+MemoryPlan PlanMemory(const DataflowGraph& graph,
+                      const PlanOptions& options) {
+  require(options.alignment > 0, "alignment must be positive");
+  const int last_op = static_cast<int>(graph.ops().size()) - 1;
+  auto elem_bytes = [&](const TensorNode& t) {
+    return options.elem_bytes ? options.elem_bytes(t)
+                              : options.default_elem_bytes;
+  };
+  // Liveness: producer .. last consumer. No in-graph consumer means the
+  // tensor (an output or a forward-only saved tensor) is read after the
+  // step, so it stays live to the end; graph inputs are pinned -- the
+  // caller owns their contents for the whole step.
+  auto kept = [&](const std::string& name) {
+    return std::find(options.keep_live.begin(), options.keep_live.end(),
+                     name) != options.keep_live.end();
+  };
+  auto excluded = [&](const std::string& name) {
+    return std::find(options.exclude.begin(), options.exclude.end(), name) !=
+           options.exclude.end();
+  };
+  // Fused spans: every member op of a span acts, for liveness purposes,
+  // across the whole span -- its outputs are born at the span's first
+  // index and its inputs stay live to the span's last.
+  std::vector<std::pair<int, int>> op_span(graph.ops().size());
+  for (std::size_t i = 0; i < op_span.size(); ++i) {
+    op_span[i] = {static_cast<int>(i), static_cast<int>(i)};
+  }
+  for (const auto& span : options.fused_spans) {
+    int lo = last_op + 1, hi = -1;
+    std::vector<int> members;
+    for (const auto& op_name : span) {
+      for (std::size_t i = 0; i < graph.ops().size(); ++i) {
+        if (graph.ops()[i].name == op_name) {
+          members.push_back(static_cast<int>(i));
+          lo = std::min(lo, static_cast<int>(i));
+          hi = std::max(hi, static_cast<int>(i));
+        }
+      }
+    }
+    for (int i : members) op_span[static_cast<std::size_t>(i)] = {lo, hi};
+  }
+  auto interval = [&](const std::string& name) {
+    const int producer = graph.ProducerOf(name);
+    const int first =
+        producer < 0 ? -1 : op_span[static_cast<std::size_t>(producer)].first;
+    const auto consumers = graph.ConsumersOf(name);
+    int last = -1;
+    for (int c : consumers) {
+      last = std::max(last, op_span[static_cast<std::size_t>(c)].second);
+    }
+    if (producer < 0 || consumers.empty() || kept(name)) last = last_op;
+    return std::pair<int, int>{first, std::max(first, last)};
+  };
+  auto member_of = [&](const std::string& name) -> const PlanGroup* {
+    for (const auto& g : options.groups) {
+      for (const auto& m : g.members) {
+        if (m == name) return &g;
+      }
+    }
+    return nullptr;
+  };
+
+  std::vector<Unit> units;
+  for (const auto& g : options.groups) {
+    require(!g.members.empty(),
+            StrFormat("plan group '%s' has no members", g.name.c_str()));
+    // A group only applies when the graph has all of its members (e.g.
+    // the backward gradient stack is absent from forward-only graphs);
+    // a partially present group is a caller bug.
+    std::size_t present = 0;
+    for (const auto& name : g.members) present += graph.HasTensor(name);
+    if (present == 0) continue;
+    require(present == g.members.size(),
+            StrFormat("plan group '%s' is only partially present",
+                      g.name.c_str()));
+    Unit u;
+    u.name = g.name;
+    u.first_use = last_op;
+    u.last_use = -1;
+    for (const auto& name : g.members) {
+      const TensorNode& t = graph.tensor(name);
+      require(!t.is_weight, StrFormat("plan group '%s' contains weight '%s'",
+                                      g.name.c_str(), name.c_str()));
+      const auto [first, last] = interval(name);
+      u.first_use = std::min(u.first_use, first);
+      u.last_use = std::max(u.last_use, last);
+      u.pinned = u.pinned || first < 0;
+      TensorPlacement p;
+      p.name = name;
+      p.shape = t.shape;
+      p.elem_bytes = elem_bytes(t);
+      p.offset = u.bytes;  // packed tightly: the stacked view needs
+                           // members back to back with no padding
+      p.bytes =
+          static_cast<std::size_t>(t.shape.num_elements()) * p.elem_bytes;
+      u.bytes += p.bytes;
+      u.members.push_back(std::move(p));
+    }
+    units.push_back(std::move(u));
+  }
+  for (const auto& [name, t] : graph.tensors()) {
+    if (t.is_weight || excluded(name) || member_of(name) != nullptr) continue;
+    Unit u;
+    u.name = name;
+    const auto [first, last] = interval(name);
+    u.first_use = first;
+    u.last_use = last;
+    u.pinned = first < 0;
+    TensorPlacement p;
+    p.name = name;
+    p.shape = t.shape;
+    p.elem_bytes = elem_bytes(t);
+    p.bytes = static_cast<std::size_t>(t.shape.num_elements()) * p.elem_bytes;
+    u.bytes = p.bytes;
+    u.members.push_back(std::move(p));
+    units.push_back(std::move(u));
+  }
+
+  // First-fit in a deterministic order: earlier birth first, then larger
+  // blocks (classic interval-coloring heuristic), then by name.
+  std::sort(units.begin(), units.end(), [](const Unit& a, const Unit& b) {
+    if (a.first_use != b.first_use) return a.first_use < b.first_use;
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;
+    return a.name < b.name;
+  });
+
+  MemoryPlan plan;
+  std::vector<std::pair<std::size_t, std::size_t>> occupied;  // offset, end
+  std::vector<Unit> placed;
+  for (Unit& u : units) {
+    occupied.clear();
+    for (const Unit& v : placed) {
+      if (Overlaps(u, v)) occupied.emplace_back(v.base, v.base + v.bytes);
+    }
+    std::sort(occupied.begin(), occupied.end());
+    std::size_t offset = 0;
+    for (const auto& [begin, end] : occupied) {
+      if (offset + u.bytes <= begin) break;
+      offset = std::max(offset, AlignUp(end, options.alignment));
+    }
+    plan.peak_bytes_ = std::max(plan.peak_bytes_, offset + u.bytes);
+    u.base = offset;
+    for (TensorPlacement& p : u.members) {
+      plan.naive_bytes_ += AlignUp(p.bytes, options.alignment);
+      p.offset += offset;
+      p.first_use = u.first_use;
+      p.last_use = u.last_use;
+      p.pinned = u.pinned;
+      plan.placements_.emplace(p.name, p);
+    }
+    if (u.members.size() > 1) {
+      TensorPlacement alias;
+      alias.name = u.name;
+      alias.elem_bytes = u.members.front().elem_bytes;
+      alias.offset = offset;
+      alias.bytes = u.bytes;
+      alias.first_use = u.first_use;
+      alias.last_use = u.last_use;
+      alias.pinned = u.pinned;
+      plan.placements_.emplace(u.name, std::move(alias));
+    }
+    u.members.clear();
+    placed.push_back(std::move(u));
+  }
+  return plan;
+}
+
+}  // namespace xflow::graph

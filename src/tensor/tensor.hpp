@@ -1,45 +1,142 @@
 // Strided, named-dimension tensors with fp16/fp32 element types.
+//
+// A Tensor either *owns* its storage (a 64-byte-aligned buffer, the
+// default) or is a non-owning *view* into caller-managed memory -- a
+// Workspace arena slot (FromSpan) or a contiguous slice of another
+// tensor (SliceViewDim). Copying an owning tensor copies the bytes;
+// copying a view aliases the same memory. Owning allocations report to
+// memstats so tests can assert a planned steady-state step never touches
+// the allocator.
+//
+// Bulk initialization (zero-fill, Random, Full, deep copies) runs in
+// fixed-size chunks on the thread pool: values are a pure function of the
+// element index, so results are bitwise identical at every thread count,
+// and large buffers get their first touch spread across threads
+// (NUMA-friendly page placement).
 #pragma once
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <initializer_list>
+#include <new>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/half.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "tensor/memstats.hpp"
 #include "tensor/shape.hpp"
 
 namespace xflow {
+
+namespace tensor_detail {
+/// Runs fn(begin, end) over fixed 64K-element chunks on the pool (inline
+/// when everything fits in one chunk). Fixed chunking keeps first-touch
+/// placement and values independent of the thread count.
+template <typename Fn>
+void ForEachChunk(std::int64_t n, Fn&& fn) {
+  constexpr std::int64_t kChunk = 1 << 16;
+  if (n <= 0) return;
+  if (n <= kChunk) {
+    fn(std::int64_t{0}, n);
+    return;
+  }
+  const std::int64_t chunks = (n + kChunk - 1) / kChunk;
+  ParallelFor(chunks, 1, [&](std::int64_t c) {
+    fn(c * kChunk, std::min(n, (c + 1) * kChunk));
+  });
+}
+}  // namespace tensor_detail
 
 /// A dense tensor whose memory order equals its shape's dimension order
 /// (row-major over that order). Changing the layout = Permuted() copy.
 template <typename T>
 class Tensor {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Tensor elements must be trivially copyable");
+
  public:
+  /// Owning buffers are cache-line aligned (and thus SIMD-aligned).
+  static constexpr std::size_t kAlignment = 64;
+
   Tensor() = default;
-  explicit Tensor(Shape shape)
-      : shape_(std::move(shape)),
-        data_(static_cast<std::size_t>(shape_.num_elements())) {}
+  explicit Tensor(Shape shape) : shape_(std::move(shape)) {
+    AllocateOwned();
+    ZeroFill();
+  }
   Tensor(std::string_view names, std::initializer_list<std::int64_t> extents)
       : Tensor(Shape(names, extents)) {}
 
-  /// Uniform values in [-1, 1), deterministic in (seed).
-  static Tensor Random(Shape shape, std::uint64_t seed) {
-    Tensor t(std::move(shape));
-    Philox4x32 gen(seed);
-    for (std::size_t i = 0; i < t.data_.size(); ++i) {
-      t.data_[i] = T(gen.UniformAt(i) * 2.0f - 1.0f);
+  Tensor(const Tensor& other) : shape_(other.shape_) {
+    if (other.data_ == nullptr) return;
+    if (!other.owns_) {  // views alias, they do not copy
+      data_ = other.data_;
+      return;
     }
+    AllocateOwned();
+    CopyElements(other.data_, data_, size());
+  }
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) *this = Tensor(other);
+    return *this;
+  }
+  Tensor(Tensor&& other) noexcept
+      : shape_(std::move(other.shape_)), data_(other.data_),
+        owns_(other.owns_) {
+    other.data_ = nullptr;
+    other.owns_ = false;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      Release();
+      shape_ = std::move(other.shape_);
+      data_ = other.data_;
+      owns_ = other.owns_;
+      other.data_ = nullptr;
+      other.owns_ = false;
+    }
+    return *this;
+  }
+  ~Tensor() { Release(); }
+
+  /// Uniform values in [-1, 1), deterministic in (seed) and independent of
+  /// the thread count (each element is a pure function of its index).
+  static Tensor Random(Shape shape, std::uint64_t seed) {
+    Tensor t = Uninitialized(std::move(shape));
+    const Philox4x32 gen(seed);
+    T* data = t.data_;
+    ForEachChunk(t.size(), [data, &gen](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) {
+        data[i] =
+            T(gen.UniformAt(static_cast<std::uint64_t>(i)) * 2.0f - 1.0f);
+      }
+    });
     return t;
   }
 
   static Tensor Full(Shape shape, float value) {
-    Tensor t(std::move(shape));
-    for (auto& v : t.data_) v = T(value);
+    Tensor t = Uninitialized(std::move(shape));
+    T* data = t.data_;
+    const T v = T(value);
+    ForEachChunk(t.size(), [data, v](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) data[i] = v;
+    });
+    return t;
+  }
+
+  /// Non-owning view over caller-managed storage (e.g. a Workspace slab).
+  /// `data` must hold shape.num_elements() elements and outlive every view
+  /// of it; copies of the view alias the same memory.
+  static Tensor FromSpan(Shape shape, T* data) {
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = data;
+    t.owns_ = false;
     return t;
   }
 
@@ -48,11 +145,32 @@ class Tensor {
   [[nodiscard]] std::int64_t extent(char d) const { return shape_.extent(d); }
   [[nodiscard]] std::int64_t stride(char d) const { return shape_.stride(d); }
   [[nodiscard]] std::int64_t size() const { return shape_.num_elements(); }
+  /// False when this tensor aliases storage it does not own.
+  [[nodiscard]] bool owns_data() const { return owns_ || data_ == nullptr; }
 
-  [[nodiscard]] T* data() { return data_.data(); }
-  [[nodiscard]] const T* data() const { return data_.data(); }
-  [[nodiscard]] std::span<T> values() { return data_; }
-  [[nodiscard]] std::span<const T> values() const { return data_; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::span<T> values() {
+    return {data_, data_ == nullptr ? 0 : static_cast<std::size_t>(size())};
+  }
+  [[nodiscard]] std::span<const T> values() const {
+    return {data_, data_ == nullptr ? 0 : static_cast<std::size_t>(size())};
+  }
+
+  /// In-place (re)shape that reuses the current storage -- owning buffer
+  /// or bound view -- whenever the element count already matches (contents
+  /// are preserved, kernels overwrite them anyway). Otherwise allocates a
+  /// fresh zeroed owning buffer; a view never matches a different element
+  /// count, because planned storage is fixed, so that case throws.
+  void EnsureShape(const Shape& shape) {
+    if (data_ != nullptr && shape_.num_elements() == shape.num_elements()) {
+      shape_ = shape;
+      return;
+    }
+    require(owns_ || data_ == nullptr,
+            "tensor view cannot be resized: its planned storage is fixed");
+    *this = Tensor(shape);
+  }
 
   /// Linear offset of a (dim, index) assignment. Dims not present are ignored
   /// so callers can pass a superset (handy for broadcast-style kernels).
@@ -101,6 +219,7 @@ class Tensor {
   /// Same data, one dimension renamed (no copy of element order; the
   /// memory layout is untouched). Used where the paper reuses a tensor
   /// under another index name, e.g. keys indexed by k instead of j.
+  /// On a view this is an aliasing relabel; on an owning tensor it copies.
   [[nodiscard]] Tensor RenamedDim(char from, char to) const {
     std::vector<DimExt> dims;
     for (const auto& de : shape_.dims()) {
@@ -141,6 +260,25 @@ class Tensor {
     return out;
   }
 
+  /// Non-owning view of the range where the *outermost* dimension `d` is
+  /// restricted to [start, start+count) -- such a slice is contiguous, so
+  /// no copy is needed (the zero-cost split of a stacked Q/K/V block).
+  /// The view aliases this tensor's storage and must not outlive it;
+  /// writing through a view of a const tensor is the caller's bug.
+  [[nodiscard]] Tensor SliceViewDim(char d, std::int64_t start,
+                                    std::int64_t count) const {
+    require(shape_.rank() > 0 && shape_.dims().front().name == d,
+            "SliceViewDim requires the outermost dimension");
+    require(start >= 0 && count > 0 && start + count <= extent(d),
+            "slice out of range");
+    std::vector<DimExt> dims;
+    for (const auto& de : shape_.dims()) {
+      dims.push_back({de.name, de.name == d ? count : de.extent});
+    }
+    return FromSpan(Shape(std::move(dims)),
+                    const_cast<T*>(data_) + start * shape_.stride(d));
+  }
+
   /// Element-type conversion (e.g. fp16 master copy of fp32 weights).
   template <typename U>
   [[nodiscard]] Tensor<U> Cast() const {
@@ -152,9 +290,74 @@ class Tensor {
   }
 
  private:
+  static Tensor Uninitialized(Shape shape) {
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.AllocateOwned();
+    return t;
+  }
+
+  void AllocateOwned() {
+    const std::size_t bytes =
+        static_cast<std::size_t>(shape_.num_elements()) * sizeof(T);
+    data_ = static_cast<T*>(
+        ::operator new(bytes, std::align_val_t{kAlignment}));
+    owns_ = true;
+    memstats::RecordTensorAlloc(static_cast<std::int64_t>(bytes));
+  }
+
+  void Release() {
+    if (owns_ && data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignment});
+    }
+    data_ = nullptr;
+    owns_ = false;
+  }
+
+  void ZeroFill() {
+    // memset through void*: T is trivially copyable (asserted above) and
+    // all-bits-zero is 0.0 for float and Half alike, matching the old
+    // std::vector value-initialization.
+    T* data = data_;
+    ForEachChunk(size(), [data](std::int64_t begin, std::int64_t end) {
+      std::memset(static_cast<void*>(data + begin), 0,
+                  static_cast<std::size_t>(end - begin) * sizeof(T));
+    });
+  }
+
+  static void CopyElements(const T* src, T* dst, std::int64_t n) {
+    ForEachChunk(n, [src, dst](std::int64_t begin, std::int64_t end) {
+      std::memcpy(static_cast<void*>(dst + begin), src + begin,
+                  static_cast<std::size_t>(end - begin) * sizeof(T));
+    });
+  }
+
+  template <typename Fn>
+  static void ForEachChunk(std::int64_t n, Fn&& fn) {
+    tensor_detail::ForEachChunk(n, std::forward<Fn>(fn));
+  }
+
   Shape shape_;
-  std::vector<T> data_;
+  T* data_ = nullptr;
+  bool owns_ = false;
 };
+
+/// Copies values between tensors of identical shape and memory order; a
+/// no-op when both alias the same storage. Chunked on the pool like every
+/// other bulk initializer (arena first-touch follows the kernel threads).
+template <typename T>
+void CopyValuesInto(const Tensor<T>& src, Tensor<T>& dst) {
+  require(src.shape() == dst.shape(),
+          "CopyValuesInto requires identical shapes");
+  if (src.data() == dst.data()) return;
+  const T* s = src.data();
+  T* d = dst.data();
+  tensor_detail::ForEachChunk(
+      src.size(), [s, d](std::int64_t begin, std::int64_t end) {
+        std::memcpy(static_cast<void*>(d + begin), s + begin,
+                    static_cast<std::size_t>(end - begin) * sizeof(T));
+      });
+}
 
 /// Concatenation of tensors along dim `d` (all other extents must match).
 /// Models the paper's algebraic stacking, e.g. [dQ~ dK~ dV~].

@@ -1,0 +1,77 @@
+#include "transformer/arena.hpp"
+
+#include "graph/builder.hpp"
+
+namespace xflow::transformer {
+
+template <typename T>
+LayerArenaT<T>::LayerArenaT(const graph::DataflowGraph& graph,
+                            graph::PlanOptions options)
+    : LayerArenaT(graph::PlanMemory(graph, options)) {}
+
+template <typename T>
+LayerArenaT<T>::LayerArenaT(graph::MemoryPlan plan) : plan_(std::move(plan)) {
+  workspace_.Reserve(plan_.peak_bytes());
+}
+
+template <typename T>
+graph::PlanOptions EncoderPlanOptions() {
+  graph::PlanOptions options;
+  options.default_elem_bytes = sizeof(T);
+  options.elem_bytes = [](const graph::TensorNode& t) -> std::size_t {
+    // Layernorm statistics stay fp32 regardless of the activation type.
+    if (t.name.ends_with("_mean") || t.name.ends_with("_rstd")) {
+      return sizeof(float);
+    }
+    return sizeof(T);
+  };
+  options.groups = {{"qkv_proj", {"qq", "kk", "vv"}},
+                    {"d_qkv_proj", {"d_qq", "d_kk", "d_vv"}}};
+  // Backward takes d_y by reference; it never lives in the arena.
+  options.exclude = {"d_y"};
+  // The multi-op fused kernels (DRLN/BRD/BDRLN forward; BLNRD/BDRB/EBSB
+  // backward): each reads its span's inputs while writing its outputs, so
+  // the planner must not recycle one into the other. One plan serves both
+  // execution styles -- the unfused pipeline only under-uses the spans.
+  options.fused_spans = {
+      {"output bias", "attn dropout", "residual 1", "layernorm 1"},
+      {"bias 1", "relu", "ff dropout"},
+      {"bias 2", "ff2 dropout", "residual 2", "layernorm 2"},
+      {"layernorm 2 dX", "ff2 dropout dX"},
+      {"bias 2 dW", "ff dropout dX", "relu dX", "bias 1 dW"},
+      {"residual 2 bwd", "layernorm 1 dW"},
+      {"layernorm 1 dX", "attn dropout dX"},
+  };
+  return options;
+}
+
+template <typename T>
+LayerArenaT<T> MakeEncoderArena(const EncoderConfig& config) {
+  const auto graph = graph::BuildEncoder(
+      config.dims, graph::AlgebraicFusion::kQKV, /*include_backward=*/true);
+  return LayerArenaT<T>(graph, EncoderPlanOptions<T>());
+}
+
+template <typename T>
+LayerArenaT<T> MakeMhaArena(const MhaConfig& config) {
+  graph::PlanOptions options;
+  options.default_elem_bytes = sizeof(T);
+  // The MHA graph is forward-only; everything MhaActivationsT saves must
+  // survive the whole step for the (out-of-graph) backward pass. Only the
+  // projection and pre-bias temporaries fold away.
+  options.keep_live = {"qq_b",      "kk_b",          "vv_b", "alpha",
+                       "attn_mask", "softmax_saved", "gamma", "out"};
+  const auto graph = graph::BuildMhaForward(config.dims);
+  return LayerArenaT<T>(graph, std::move(options));
+}
+
+template class LayerArenaT<Half>;
+template class LayerArenaT<float>;
+template graph::PlanOptions EncoderPlanOptions<Half>();
+template graph::PlanOptions EncoderPlanOptions<float>();
+template LayerArenaT<Half> MakeEncoderArena<Half>(const EncoderConfig&);
+template LayerArenaT<float> MakeEncoderArena<float>(const EncoderConfig&);
+template LayerArenaT<Half> MakeMhaArena<Half>(const MhaConfig&);
+template LayerArenaT<float> MakeMhaArena<float>(const MhaConfig&);
+
+}  // namespace xflow::transformer

@@ -1,0 +1,103 @@
+// Per-layer planned arenas: bind a layer's activation/gradient structs to
+// one of these and every saved activation, mask and backward temporary
+// becomes a fixed-offset view into a single liveness-planned slab (see
+// graph/memory_plan.hpp). Steady-state Forward/Backward then perform zero
+// tensor allocations, and peak activation memory follows the plan instead
+// of the naive sum-of-tensors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "graph/memory_plan.hpp"
+#include "tensor/workspace.hpp"
+#include "transformer/encoder.hpp"
+#include "transformer/mha.hpp"
+
+namespace xflow::transformer {
+
+/// One layer instance's slab. Views are requested by graph container
+/// name; the caller supplies the runtime shape, which may relabel dims
+/// (the paper's j->k / p->w renames) but must match the planned byte
+/// size. Element type per view lets fp32 layernorm statistics coexist
+/// with fp16 activations in one slab.
+template <typename T>
+class LayerArenaT {
+ public:
+  LayerArenaT(const graph::DataflowGraph& graph, graph::PlanOptions options);
+  /// Adopts an already computed plan (layers of one stack share a plan --
+  /// same dims, same graph -- but each needs its own slab because its
+  /// saved activations must survive until its backward runs).
+  explicit LayerArenaT(graph::MemoryPlan plan);
+
+  template <typename U>
+  [[nodiscard]] Tensor<U> ViewAs(const std::string& name, Shape shape) {
+    const graph::TensorPlacement& p = plan_.at(name);
+    require(static_cast<std::size_t>(shape.num_elements()) * sizeof(U) ==
+                p.bytes,
+            StrFormat("arena view '%s' does not match its planned size",
+                      name.c_str()));
+    return workspace_.ViewAt<U>(p.offset, std::move(shape));
+  }
+
+  [[nodiscard]] const graph::MemoryPlan& plan() const { return plan_; }
+  [[nodiscard]] Workspace& workspace() { return workspace_; }
+
+ private:
+  graph::MemoryPlan plan_;
+  Workspace workspace_;
+};
+
+/// Arena-or-owning storage resolution, shared by the layer Forward and
+/// Backward implementations. With an arena, `slot` becomes a view at the
+/// container's planned offset; without one, owning storage is reused via
+/// EnsureShape. Either way the caller overwrites the contents.
+template <typename U, typename T>
+Tensor<U>& BindSlot(LayerArenaT<T>* arena, Tensor<U>& slot,
+                    const std::string& name, const Shape& shape) {
+  if (arena != nullptr) {
+    slot = arena->template ViewAs<U>(name, shape);
+  } else {
+    slot.EnsureShape(shape);
+  }
+  return slot;
+}
+
+/// Same resolution for a temporary that lives only inside one call.
+template <typename T>
+[[nodiscard]] Tensor<T> AcquireTemp(LayerArenaT<T>* arena,
+                                    const std::string& name,
+                                    const Shape& shape) {
+  return arena != nullptr ? arena->template ViewAs<T>(name, shape)
+                          : Tensor<T>(shape);
+}
+
+/// Plan options for a `Tensor<T>` transformer layer: activations take
+/// sizeof(T) bytes, the fp32 layernorm statistics 4, and the stacked
+/// Q/K/V blocks are grouped so the algebraically fused projections (and
+/// the [dQ~ dK~ dV~] gradient stack) read/write one contiguous tensor.
+template <typename T>
+graph::PlanOptions EncoderPlanOptions();
+
+/// Arena for one EncoderLayerT (full forward+backward graph, Fig. 2).
+template <typename T>
+LayerArenaT<T> MakeEncoderArena(const EncoderConfig& config);
+
+/// Arena for one MhaLayerT's forward pass (Fig. 1 graph; MHA backward has
+/// no modeled graph yet and reuses owning buffers instead).
+template <typename T>
+LayerArenaT<T> MakeMhaArena(const MhaConfig& config);
+
+extern template class LayerArenaT<Half>;
+extern template class LayerArenaT<float>;
+extern template graph::PlanOptions EncoderPlanOptions<Half>();
+extern template graph::PlanOptions EncoderPlanOptions<float>();
+extern template LayerArenaT<Half> MakeEncoderArena<Half>(const EncoderConfig&);
+extern template LayerArenaT<float> MakeEncoderArena<float>(
+    const EncoderConfig&);
+extern template LayerArenaT<Half> MakeMhaArena<Half>(const MhaConfig&);
+extern template LayerArenaT<float> MakeMhaArena<float>(const MhaConfig&);
+
+}  // namespace xflow::transformer

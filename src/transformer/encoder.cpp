@@ -8,6 +8,7 @@
 #include "ops/layernorm.hpp"
 #include "ops/softmax.hpp"
 #include "tensor/einsum.hpp"
+#include "transformer/arena.hpp"
 
 namespace xflow::transformer {
 
@@ -25,6 +26,35 @@ enum DropoutSite : std::uint64_t {
 std::uint64_t SiteSeed(std::uint64_t seed, DropoutSite site) {
   std::uint64_t s = seed * 4 + site;
   return SplitMix64(s);
+}
+
+/// The layer's contractions, parsed once per process: steady-state steps
+/// must not re-parse specs (or allocate output tensors -- every call site
+/// uses EinsumInto with planned or reused storage).
+struct EncoderSpecs {
+  EinsumSpec qkv = EinsumSpec::Parse("phi,ibj->phbj");
+  EinsumSpec qkt = EinsumSpec::Parse("phbk,phbj->hbjk");
+  EinsumSpec gamma = EinsumSpec::Parse("whbk,hbjk->whbj");
+  EinsumSpec out = EinsumSpec::Parse("whi,whbj->ibj");
+  EinsumSpec lin1 = EinsumSpec::Parse("ui,ibj->ubj");
+  EinsumSpec lin2 = EinsumSpec::Parse("iu,ubj->ibj");
+  EinsumSpec lin2_dx = EinsumSpec::Parse("iu,ibj->ubj");
+  EinsumSpec lin2_dw = EinsumSpec::Parse("ibj,ubj->iu");
+  EinsumSpec lin1_dx = EinsumSpec::Parse("ui,ubj->ibj");
+  EinsumSpec lin1_dw = EinsumSpec::Parse("ubj,ibj->ui");
+  EinsumSpec out_dx = EinsumSpec::Parse("whi,ibj->whbj");
+  EinsumSpec out_dw = EinsumSpec::Parse("ibj,whbj->whi");
+  EinsumSpec gamma_dx1 = EinsumSpec::Parse("whbk,whbj->hbjk");
+  EinsumSpec gamma_dx2 = EinsumSpec::Parse("whbj,hbjk->whbk");
+  EinsumSpec qkt_dx1 = EinsumSpec::Parse("phbj,hbjk->phbk");
+  EinsumSpec qkt_dx2 = EinsumSpec::Parse("hbjk,phbk->phbj");
+  EinsumSpec qkv_dx = EinsumSpec::Parse("phi,phbj->ibj");
+  EinsumSpec qkv_dw = EinsumSpec::Parse("phbj,ibj->phi");
+};
+
+const EncoderSpecs& S() {
+  static const EncoderSpecs specs;
+  return specs;
 }
 
 }  // namespace
@@ -68,6 +98,23 @@ std::vector<std::pair<std::string, Tensor<T>*>> EncoderParamsT<T>::Named() {
 }
 
 template <typename T>
+void EncoderParamsT<T>::EnsureShapes(const graph::ModelDims& d) {
+  const auto p3 = 3 * d.p;
+  w_qkv.EnsureShape(Shape("phi", {p3, d.h, d.i}));
+  b_qkv.EnsureShape(Shape("ph", {p3, d.h}));
+  w_out.EnsureShape(Shape("whi", {d.p, d.h, d.i}));
+  b_out.EnsureShape(Shape("i", {d.i}));
+  ln1_w.EnsureShape(Shape("i", {d.i}));
+  ln1_b.EnsureShape(Shape("i", {d.i}));
+  w1.EnsureShape(Shape("ui", {d.u, d.i}));
+  b1.EnsureShape(Shape("u", {d.u}));
+  w2.EnsureShape(Shape("iu", {d.i, d.u}));
+  b2.EnsureShape(Shape("i", {d.i}));
+  ln2_w.EnsureShape(Shape("i", {d.i}));
+  ln2_b.EnsureShape(Shape("i", {d.i}));
+}
+
+template <typename T>
 EncoderLayerT<T>::EncoderLayerT(EncoderConfig config, EncoderParamsT<T> params)
     : config_(std::move(config)), params_(std::move(params)) {}
 
@@ -87,37 +134,62 @@ const Tensor<T>& EncoderLayerT<T>::Forward(const Tensor<T>& x,
   const Shape ibj("ibj", {d.i, d.b, d.j});
   const Shape ubj("ubj", {d.u, d.b, d.j});
   const Shape hbjk("hbjk", {d.h, d.b, d.j, d.k});
+  const Shape whbj("whbj", {d.p, d.h, d.b, d.j});
+  const Shape phbj("phbj", {d.p, d.h, d.b, d.j});
+  const Shape phbj3("phbj", {3 * d.p, d.h, d.b, d.j});
   const Shape bj("bj", {d.b, d.j});
 
-  acts.x = x;
+  // Saved activations and temporaries come from the bound arena (views at
+  // planned offsets) or from owning buffers that EnsureShape reuses
+  // across steps; either way the kernels below overwrite them fully.
+  LayerArenaT<T>* ar = acts.arena;
+  auto slot = [ar](Tensor<T>& t, const char* name,
+                   const Shape& shape) -> Tensor<T>& {
+    return BindSlot(ar, t, name, shape);
+  };
+  auto stat = [ar](TensorF& t, const char* name,
+                   const Shape& shape) -> TensorF& {
+    return BindSlot(ar, t, name, shape);
+  };
+  auto tmp = [ar](const char* name, const Shape& shape) -> Tensor<T> {
+    return AcquireTemp(ar, name, shape);
+  };
 
-  // Q,K,V: one stacked GEMM (algebraic fusion, Sec. IV-D), then split.
-  auto proj = Einsum<T>("phi,ibj->phbj", params_.w_qkv, x);
-  auto qq = proj.SliceDim('p', 0, d.p);
-  auto kk = proj.SliceDim('p', d.p, d.p);
-  auto vv = proj.SliceDim('p', 2 * d.p, d.p);
+  // The input is saved for the backward dW contractions.
+  CopyValuesInto(x, slot(acts.x, "x", x.shape()));
+
+  // Q,K,V: one stacked GEMM (algebraic fusion, Sec. IV-D). The three
+  // projections are contiguous sub-blocks of the stacked output, so the
+  // split is a zero-copy view.
+  Tensor<T> proj = tmp("qkv_proj", phbj3);
+  EinsumInto(S().qkv, params_.w_qkv, x, proj);
+  auto qq = proj.SliceViewDim('p', 0, d.p);
+  auto kk = proj.SliceViewDim('p', d.p, d.p);
+  auto vv = proj.SliceViewDim('p', 2 * d.p, d.p);
 
   // AIB.
-  acts.qq_b = Tensor<T>(qq.shape());
-  Tensor<T> kk_b(kk.shape()), vv_b(vv.shape());
+  slot(acts.qq_b, "qq_b", phbj);
+  Tensor<T> kk_b = tmp("kk_b", phbj);
+  Tensor<T> vv_b = tmp("vv_b", phbj);
   if (config_.use_fused_kernels) {
     ops::AttnInputBias<T>({&qq, &kk, &vv}, params_.b_qkv, 'p',
                           {&acts.qq_b, &kk_b, &vv_b});
   } else {
-    ops::BiasForward(qq, params_.b_qkv.SliceDim('p', 0, d.p), acts.qq_b);
-    ops::BiasForward(kk, params_.b_qkv.SliceDim('p', d.p, d.p), kk_b);
-    ops::BiasForward(vv, params_.b_qkv.SliceDim('p', 2 * d.p, d.p), vv_b);
+    ops::BiasForward(qq, params_.b_qkv.SliceViewDim('p', 0, d.p), acts.qq_b);
+    ops::BiasForward(kk, params_.b_qkv.SliceViewDim('p', d.p, d.p), kk_b);
+    ops::BiasForward(vv, params_.b_qkv.SliceViewDim('p', 2 * d.p, d.p), vv_b);
   }
   acts.kk_b = kk_b.RenamedDim('j', 'k');
   acts.vv_b = vv_b.RenamedDim('j', 'k').RenamedDim('p', 'w');
 
   // QKT (the softmax scaling lives in the SM kernel).
-  auto beta = Einsum<T>("phbk,phbj->hbjk", acts.kk_b, acts.qq_b);
+  Tensor<T> beta = tmp("beta", hbjk);
+  EinsumInto(S().qkt, acts.kk_b, acts.qq_b, beta);
 
   // SM: scale + softmax + attention dropout.
-  acts.alpha = Tensor<T>(hbjk);
-  acts.attn_mask = Tensor<T>(hbjk);
-  acts.softmax_saved = Tensor<T>(hbjk);
+  slot(acts.alpha, "alpha", hbjk);
+  slot(acts.attn_mask, "attn_mask", hbjk);
+  slot(acts.softmax_saved, "softmax_saved", hbjk);
   if (config_.causal) {
     ops::CausalScaledSoftmaxForward(beta, 'k', 'j', attn_scale, attn_sm_mask,
                                     acts.alpha, acts.attn_mask,
@@ -129,22 +201,25 @@ const Tensor<T>& EncoderLayerT<T>::Forward(const Tensor<T>& x,
   }
 
   // gamma and the output projection.
-  acts.gamma_t = Einsum<T>("whbk,hbjk->whbj", acts.vv_b, acts.alpha);
-  auto attn_out = Einsum<T>("whi,whbj->ibj", params_.w_out, acts.gamma_t);
+  slot(acts.gamma_t, "gamma_t", whbj);
+  EinsumInto(S().gamma, acts.vv_b, acts.alpha, acts.gamma_t);
+  Tensor<T> attn_out = tmp("attn_out", ibj);
+  EinsumInto(S().out, params_.w_out, acts.gamma_t, attn_out);
 
   // DRLN: output bias + dropout + residual + layernorm 1.
-  acts.resid1 = Tensor<T>(ibj);
-  acts.attn_drop_mask = Tensor<T>(ibj);
-  acts.ln1_out = Tensor<T>(ibj);
-  acts.ln1_mean = TensorF(bj);
-  acts.ln1_rstd = TensorF(bj);
+  slot(acts.resid1, "resid1", ibj);
+  slot(acts.attn_drop_mask, "attn_drop_mask", ibj);
+  slot(acts.ln1_out, "ln1_out", ibj);
+  stat(acts.ln1_mean, "ln1_mean", bj);
+  stat(acts.ln1_rstd, "ln1_rstd", bj);
   if (config_.use_fused_kernels) {
     ops::BiasDropoutResidualLayerNorm(
         attn_out, params_.b_out, x, attn_out_mask, params_.ln1_w,
         params_.ln1_b, 'i', config_.ln_eps, acts.resid1, acts.attn_drop_mask,
         acts.ln1_out, acts.ln1_mean, acts.ln1_rstd);
   } else {
-    Tensor<T> biased(ibj), dropped(ibj);
+    Tensor<T> biased = tmp("attn_biased", ibj);
+    Tensor<T> dropped = tmp("attn_dropped", ibj);
     ops::BiasForward(attn_out, params_.b_out, biased);
     ops::DropoutForward(biased, attn_out_mask, dropped, acts.attn_drop_mask);
     ops::ResidualForward(dropped, x, acts.resid1);
@@ -154,34 +229,37 @@ const Tensor<T>& EncoderLayerT<T>::Forward(const Tensor<T>& x,
   }
 
   // Feed-forward: linear 1, BRD, linear 2, BDRLN.
-  auto lin1 = Einsum<T>("ui,ibj->ubj", params_.w1, acts.ln1_out);
-  acts.relu1 = Tensor<T>(ubj);
-  acts.ff_dropped = Tensor<T>(ubj);
-  acts.ff_drop_mask = Tensor<T>(ubj);
+  Tensor<T> lin1 = tmp("lin1", ubj);
+  EinsumInto(S().lin1, params_.w1, acts.ln1_out, lin1);
+  slot(acts.relu1, "relu1", ubj);
+  slot(acts.ff_dropped, "ff_dropped", ubj);
+  slot(acts.ff_drop_mask, "ff_drop_mask", ubj);
   if (config_.use_fused_kernels) {
     ops::BiasReluDropout(lin1, params_.b1, ff_mask, acts.relu1,
                          acts.ff_dropped, acts.ff_drop_mask);
   } else {
-    Tensor<T> biased(ubj);
+    Tensor<T> biased = tmp("lin1_biased", ubj);
     ops::BiasForward(lin1, params_.b1, biased);
     ops::ReluForward(biased, acts.relu1);
     ops::DropoutForward(acts.relu1, ff_mask, acts.ff_dropped,
                         acts.ff_drop_mask);
   }
 
-  auto lin2 = Einsum<T>("iu,ubj->ibj", params_.w2, acts.ff_dropped);
-  acts.resid2 = Tensor<T>(ibj);
-  acts.lin2_drop_mask = Tensor<T>(ibj);
-  acts.y = Tensor<T>(ibj);
-  acts.ln2_mean = TensorF(bj);
-  acts.ln2_rstd = TensorF(bj);
+  Tensor<T> lin2 = tmp("lin2", ibj);
+  EinsumInto(S().lin2, params_.w2, acts.ff_dropped, lin2);
+  slot(acts.resid2, "resid2", ibj);
+  slot(acts.lin2_drop_mask, "lin2_drop_mask", ibj);
+  slot(acts.y, "y", ibj);
+  stat(acts.ln2_mean, "ln2_mean", bj);
+  stat(acts.ln2_rstd, "ln2_rstd", bj);
   if (config_.use_fused_kernels) {
     ops::BiasDropoutResidualLayerNorm(
         lin2, params_.b2, acts.ln1_out, out_mask, params_.ln2_w,
         params_.ln2_b, 'i', config_.ln_eps, acts.resid2, acts.lin2_drop_mask,
         acts.y, acts.ln2_mean, acts.ln2_rstd);
   } else {
-    Tensor<T> biased(ibj), dropped(ibj);
+    Tensor<T> biased = tmp("lin2_biased", ibj);
+    Tensor<T> dropped = tmp("lin2_dropped", ibj);
     ops::BiasForward(lin2, params_.b2, biased);
     ops::DropoutForward(biased, out_mask, dropped, acts.lin2_drop_mask);
     ops::ResidualForward(dropped, acts.ln1_out, acts.resid2);
@@ -203,15 +281,26 @@ void EncoderLayerT<T>::Backward(const Tensor<T>& d_y,
   const Shape ibj("ibj", {d.i, d.b, d.j});
   const Shape ubj("ubj", {d.u, d.b, d.j});
   const Shape hbjk("hbjk", {d.h, d.b, d.j, d.k});
+  const Shape whbj("whbj", {d.p, d.h, d.b, d.j});
+  const Shape whbk("whbk", {d.p, d.h, d.b, d.k});
+  const Shape phbk("phbk", {d.p, d.h, d.b, d.k});
+  const Shape phbj("phbj", {d.p, d.h, d.b, d.j});
+  const Shape phbj3("phbj", {3 * d.p, d.h, d.b, d.j});
   auto& gp = grads.params;
-  gp = EncoderParamsT<T>::Init(d, 0);  // allocate shapes; overwritten below
+  gp.EnsureShapes(d);  // accumulators; every entry is overwritten below
+
+  LayerArenaT<T>* ar = grads.arena;
+  auto tmp = [ar](const char* name, const Shape& shape) -> Tensor<T> {
+    return AcquireTemp(ar, name, shape);
+  };
 
   // BSB: layernorm 2 dW.
   ops::LayerNormBackwardDW(d_y, acts.resid2, acts.ln2_mean, acts.ln2_rstd,
                            'i', gp.ln2_w, gp.ln2_b);
 
   // BLNRD: layernorm 2 dX + output dropout dX (keeps d_resid2 for EBSB).
-  Tensor<T> d_resid2(ibj), d_lin2_biased(ibj);
+  Tensor<T> d_resid2 = tmp("d_resid2", ibj);
+  Tensor<T> d_lin2_biased = tmp("d_lin2_biased", ibj);
   if (config_.use_fused_kernels) {
     ops::LayerNormDropoutBackward(d_y, params_.ln2_w, acts.resid2,
                                   acts.ln2_mean, acts.ln2_rstd,
@@ -225,18 +314,19 @@ void EncoderLayerT<T>::Backward(const Tensor<T>& d_y,
   }
 
   // Linear 2 dX / dW.
-  auto d_ff_dropped = Einsum<T>("iu,ibj->ubj", params_.w2, d_lin2_biased);
-  gp.w2 = Einsum<T>("ibj,ubj->iu", d_lin2_biased, acts.ff_dropped);
+  Tensor<T> d_ff_dropped = tmp("d_ff_dropped", ubj);
+  EinsumInto(S().lin2_dx, params_.w2, d_lin2_biased, d_ff_dropped);
+  EinsumInto(S().lin2_dw, d_lin2_biased, acts.ff_dropped, gp.w2);
 
   // BDRB: bias2 dW + ff dropout dX + relu dX + bias1 dW.
-  Tensor<T> d_lin1_biased(ubj);
+  Tensor<T> d_lin1_biased = tmp("d_lin1_biased", ubj);
   if (config_.use_fused_kernels) {
     ops::BiasDropoutReluBiasBackward(d_lin2_biased, d_ff_dropped,
                                      acts.ff_drop_mask, acts.relu1,
                                      keep_scale, gp.b2, d_lin1_biased, gp.b1);
   } else {
     ops::BiasBackwardDW(d_lin2_biased, gp.b2);
-    Tensor<T> d_relu(ubj);
+    Tensor<T> d_relu = tmp("d_relu1", ubj);
     ops::DropoutBackwardDX(d_ff_dropped, acts.ff_drop_mask, keep_scale,
                            d_relu);
     ops::ReluBackwardDX(d_relu, acts.relu1, d_lin1_biased);
@@ -244,11 +334,12 @@ void EncoderLayerT<T>::Backward(const Tensor<T>& d_y,
   }
 
   // Linear 1 dX / dW.
-  auto d_ln1_ff = Einsum<T>("ui,ubj->ibj", params_.w1, d_lin1_biased);
-  gp.w1 = Einsum<T>("ubj,ibj->ui", d_lin1_biased, acts.ln1_out);
+  Tensor<T> d_ln1_ff = tmp("d_ln1_ff", ibj);
+  EinsumInto(S().lin1_dx, params_.w1, d_lin1_biased, d_ln1_ff);
+  EinsumInto(S().lin1_dw, d_lin1_biased, acts.ln1_out, gp.w1);
 
   // EBSB: residual merge + layernorm 1 dW.
-  Tensor<T> d_ln1_out(ibj);
+  Tensor<T> d_ln1_out = tmp("d_ln1_out", ibj);
   if (config_.use_fused_kernels) {
     ops::ResidualLayerNormDwBackward(d_ln1_ff, d_resid2, acts.resid1,
                                      acts.ln1_mean, acts.ln1_rstd, 'i',
@@ -260,7 +351,8 @@ void EncoderLayerT<T>::Backward(const Tensor<T>& d_y,
   }
 
   // BLNRD: layernorm 1 dX + attention dropout dX.
-  Tensor<T> d_resid1(ibj), d_attn_biased(ibj);
+  Tensor<T> d_resid1 = tmp("d_resid1", ibj);
+  Tensor<T> d_attn_biased = tmp("d_attn_biased", ibj);
   if (config_.use_fused_kernels) {
     ops::LayerNormDropoutBackward(d_ln1_out, params_.ln1_w, acts.resid1,
                                   acts.ln1_mean, acts.ln1_rstd,
@@ -277,27 +369,41 @@ void EncoderLayerT<T>::Backward(const Tensor<T>& d_y,
   ops::BiasBackwardDW(d_attn_biased, gp.b_out);
 
   // Attention backward contractions.
-  auto d_gamma = Einsum<T>("whi,ibj->whbj", params_.w_out, d_attn_biased);
-  gp.w_out = Einsum<T>("ibj,whbj->whi", d_attn_biased, acts.gamma_t);
-  auto d_alpha = Einsum<T>("whbk,whbj->hbjk", acts.vv_b, d_gamma);
-  auto d_vv = Einsum<T>("whbj,hbjk->whbk", d_gamma, acts.alpha);
+  Tensor<T> d_gamma = tmp("d_gamma", whbj);
+  EinsumInto(S().out_dx, params_.w_out, d_attn_biased, d_gamma);
+  EinsumInto(S().out_dw, d_attn_biased, acts.gamma_t, gp.w_out);
+  Tensor<T> d_alpha = tmp("d_alpha", hbjk);
+  EinsumInto(S().gamma_dx1, acts.vv_b, d_gamma, d_alpha);
+  Tensor<T> d_vv = tmp("d_vv", whbk);
+  EinsumInto(S().gamma_dx2, d_gamma, acts.alpha, d_vv);
 
   // BS: dropout + softmax + scaling backward.
-  Tensor<T> d_beta(hbjk);
+  Tensor<T> d_beta = tmp("d_beta", hbjk);
   ops::ScaledSoftmaxBackwardDX(d_alpha, acts.attn_mask, acts.softmax_saved,
                                'k', attn_scale, keep_scale, d_beta);
 
   // QKT dX1 / dX2.
-  auto d_kk = Einsum<T>("phbj,hbjk->phbk", acts.qq_b, d_beta);
-  auto d_qq = Einsum<T>("hbjk,phbk->phbj", d_beta, acts.kk_b);
+  Tensor<T> d_kk = tmp("d_kk", phbk);
+  EinsumInto(S().qkt_dx1, acts.qq_b, d_beta, d_kk);
+  Tensor<T> d_qq = tmp("d_qq", phbj);
+  EinsumInto(S().qkt_dx2, d_beta, acts.kk_b, d_qq);
 
-  // Q,K,V dX / dW on the stacked gradient (algebraic fusion).
+  // Stacked [dQ~ dK~ dV~] (algebraic fusion): the plan places the three
+  // gradients as one contiguous block, so stacking is a zero-copy view;
+  // the owning path concatenates as before.
   auto d_kk_j = d_kk.RenamedDim('k', 'j');
   auto d_vv_j = d_vv.RenamedDim('k', 'j').RenamedDim('w', 'p');
-  auto d_proj = ConcatDim<T>({&d_qq, &d_kk_j, &d_vv_j}, 'p');
-  grads.d_x = Tensor<T>(ibj);
-  auto d_x_qkv = Einsum<T>("phi,phbj->ibj", params_.w_qkv, d_proj);
-  gp.w_qkv = Einsum<T>("phbj,ibj->phi", d_proj, acts.x);
+  Tensor<T> d_proj = ar != nullptr
+                         ? ar->template ViewAs<T>("d_qkv_proj", phbj3)
+                         : ConcatDim<T>({&d_qq, &d_kk_j, &d_vv_j}, 'p');
+  if (ar != nullptr) {
+    grads.d_x = ar->template ViewAs<T>("d_x", ibj);
+  } else {
+    grads.d_x.EnsureShape(ibj);
+  }
+  Tensor<T> d_x_qkv = tmp("d_x_qkv", ibj);
+  EinsumInto(S().qkv_dx, params_.w_qkv, d_proj, d_x_qkv);
+  EinsumInto(S().qkv_dw, d_proj, acts.x, gp.w_qkv);
 
   // BAIB: stacked input-bias gradient.
   if (config_.use_fused_kernels) {

@@ -14,6 +14,9 @@
 
 namespace xflow::transformer {
 
+template <typename T>
+class LayerArenaT;  // transformer/arena.hpp
+
 struct EncoderConfig {
   graph::ModelDims dims = graph::ModelDims::Tiny();
   float dropout_prob = 0.1f;
@@ -45,6 +48,10 @@ struct EncoderParamsT {
   static EncoderParamsT Init(const graph::ModelDims& d, std::uint64_t seed);
   /// Name -> tensor map, for optimizers and checkpointing.
   std::vector<std::pair<std::string, Tensor<T>*>> Named();
+  /// Gives every tensor its parameter shape without initializing values,
+  /// reusing existing storage when already shaped -- the allocation path
+  /// for gradient accumulators (Backward overwrites every entry).
+  void EnsureShapes(const graph::ModelDims& d);
 };
 
 /// Every tensor the forward pass produces that backward needs (the "saved"
@@ -64,12 +71,25 @@ struct EncoderActivationsT {
   Tensor<T> resid2;
   TensorF ln2_mean, ln2_rstd;
   Tensor<T> y;
+
+  /// When set, Forward acquires every activation *and* temporary from
+  /// this liveness-planned arena instead of heap-allocating (bind the
+  /// matching gradients struct to the same arena; one arena serves
+  /// exactly one layer instance). Values are bitwise identical to the
+  /// owning mode -- planning changes where bytes live, never what they
+  /// are.
+  LayerArenaT<T>* arena = nullptr;
 };
 
 template <typename T>
 struct EncoderGradientsT {
   EncoderParamsT<T> params;  // same shapes as the parameters
   Tensor<T> d_x;
+
+  /// Same contract as EncoderActivationsT::arena, for Backward. Weight
+  /// gradients stay owning (they outlive the step); only d_* temporaries
+  /// and d_x come from the plan.
+  LayerArenaT<T>* arena = nullptr;
 };
 
 /// The encoder layer. Forward/Backward follow the Table III operator

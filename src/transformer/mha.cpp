@@ -6,8 +6,41 @@
 #include "ops/elementwise.hpp"
 #include "ops/softmax.hpp"
 #include "tensor/einsum.hpp"
+#include "transformer/arena.hpp"
 
 namespace xflow::transformer {
+
+namespace {
+
+/// Contractions parsed once per process; every call site writes into
+/// planned or reused storage via EinsumInto.
+struct MhaSpecs {
+  EinsumSpec q = EinsumSpec::Parse("phi,ibj->phbj");
+  EinsumSpec k = EinsumSpec::Parse("phi,ibk->phbk");
+  EinsumSpec v = EinsumSpec::Parse("whi,ibk->whbk");
+  EinsumSpec qkt = EinsumSpec::Parse("phbk,phbj->hbjk");
+  EinsumSpec gamma = EinsumSpec::Parse("whbk,hbjk->whbj");
+  EinsumSpec out = EinsumSpec::Parse("whi,whbj->ibj");
+  EinsumSpec out_dx = EinsumSpec::Parse("whi,ibj->whbj");
+  EinsumSpec out_dw = EinsumSpec::Parse("ibj,whbj->whi");
+  EinsumSpec gamma_dx1 = EinsumSpec::Parse("whbk,whbj->hbjk");
+  EinsumSpec gamma_dx2 = EinsumSpec::Parse("whbj,hbjk->whbk");
+  EinsumSpec qkt_dx1 = EinsumSpec::Parse("phbj,hbjk->phbk");
+  EinsumSpec qkt_dx2 = EinsumSpec::Parse("hbjk,phbk->phbj");
+  EinsumSpec q_dx = EinsumSpec::Parse("phi,phbj->ibj");
+  EinsumSpec k_dx = EinsumSpec::Parse("phi,phbk->ibk");
+  EinsumSpec v_dx = EinsumSpec::Parse("whi,whbk->ibk");
+  EinsumSpec q_dw = EinsumSpec::Parse("phbj,ibj->phi");
+  EinsumSpec k_dw = EinsumSpec::Parse("phbk,ibk->phi");
+  EinsumSpec v_dw = EinsumSpec::Parse("whbk,ibk->whi");
+};
+
+const MhaSpecs& S() {
+  static const MhaSpecs specs;
+  return specs;
+}
+
+}  // namespace
 
 template <typename T>
 MhaParamsT<T> MhaParamsT<T>::Init(const graph::ModelDims& d,
@@ -40,6 +73,18 @@ std::vector<std::pair<std::string, Tensor<T>*>> MhaParamsT<T>::Named() {
 }
 
 template <typename T>
+void MhaParamsT<T>::EnsureShapes(const graph::ModelDims& d) {
+  wq.EnsureShape(Shape("phi", {d.p, d.h, d.i}));
+  wk.EnsureShape(Shape("phi", {d.p, d.h, d.i}));
+  wv.EnsureShape(Shape("whi", {d.p, d.h, d.i}));
+  wo.EnsureShape(Shape("whi", {d.p, d.h, d.i}));
+  bq.EnsureShape(Shape("ph", {d.p, d.h}));
+  bk.EnsureShape(Shape("ph", {d.p, d.h}));
+  bv.EnsureShape(Shape("wh", {d.p, d.h}));
+  bo.EnsureShape(Shape("i", {d.i}));
+}
+
+template <typename T>
 MhaLayerT<T>::MhaLayerT(MhaConfig config, MhaParamsT<T> params)
     : config_(std::move(config)), params_(std::move(params)) {}
 
@@ -52,28 +97,46 @@ const Tensor<T>& MhaLayerT<T>::Forward(const Tensor<T>& q, const Tensor<T>& k,
   std::uint64_t seed_state = config_.seed;
   const DropoutMask sm_mask(SplitMix64(seed_state), config_.dropout_prob);
   const Shape hbjk("hbjk", {d.h, d.b, d.j, d.k});
+  const Shape phbj("phbj", {d.p, d.h, d.b, d.j});
+  const Shape phbk("phbk", {d.p, d.h, d.b, d.k});
+  const Shape whbk("whbk", {d.p, d.h, d.b, d.k});
+  const Shape whbj("whbj", {d.p, d.h, d.b, d.j});
+  const Shape ibj("ibj", {d.i, d.b, d.j});
 
-  acts.q = q;
-  acts.k = k;
-  acts.v = v;
+  LayerArenaT<T>* ar = acts.arena;
+  auto slot = [ar](Tensor<T>& t, const char* name,
+                   const Shape& shape) -> Tensor<T>& {
+    return BindSlot(ar, t, name, shape);
+  };
+  auto tmp = [ar](const char* name, const Shape& shape) -> Tensor<T> {
+    return AcquireTemp(ar, name, shape);
+  };
+
+  CopyValuesInto(q, slot(acts.q, "q", q.shape()));
+  CopyValuesInto(k, slot(acts.k, "k", k.shape()));
+  CopyValuesInto(v, slot(acts.v, "v", v.shape()));
 
   // Input projections with bias (Fig. 1: three separate einsums; no
   // algebraic fusion since the inputs are distinct tensors).
-  auto qq = Einsum<T>("phi,ibj->phbj", params_.wq, q);
-  auto kk = Einsum<T>("phi,ibk->phbk", params_.wk, k);
-  auto vv = Einsum<T>("whi,ibk->whbk", params_.wv, v);
-  acts.qq_b = Tensor<T>(qq.shape());
-  acts.kk_b = Tensor<T>(kk.shape());
-  acts.vv_b = Tensor<T>(vv.shape());
+  Tensor<T> qq = tmp("qq", phbj);
+  Tensor<T> kk = tmp("kk", phbk);
+  Tensor<T> vv = tmp("vv", whbk);
+  EinsumInto(S().q, params_.wq, q, qq);
+  EinsumInto(S().k, params_.wk, k, kk);
+  EinsumInto(S().v, params_.wv, v, vv);
+  slot(acts.qq_b, "qq_b", phbj);
+  slot(acts.kk_b, "kk_b", phbk);
+  slot(acts.vv_b, "vv_b", whbk);
   ops::BiasForward(qq, params_.bq, acts.qq_b);
   ops::BiasForward(kk, params_.bk, acts.kk_b);
   ops::BiasForward(vv, params_.bv, acts.vv_b);
 
   // Attention scores, scaled softmax (+ optional causal mask) and dropout.
-  auto beta = Einsum<T>("phbk,phbj->hbjk", acts.kk_b, acts.qq_b);
-  acts.alpha = Tensor<T>(hbjk);
-  acts.attn_mask = Tensor<T>(hbjk);
-  acts.softmax_saved = Tensor<T>(hbjk);
+  Tensor<T> beta = tmp("beta", hbjk);
+  EinsumInto(S().qkt, acts.kk_b, acts.qq_b, beta);
+  slot(acts.alpha, "alpha", hbjk);
+  slot(acts.attn_mask, "attn_mask", hbjk);
+  slot(acts.softmax_saved, "softmax_saved", hbjk);
   if (config_.causal) {
     ops::CausalScaledSoftmaxForward(beta, 'k', 'j', scale, sm_mask,
                                     acts.alpha, acts.attn_mask,
@@ -84,9 +147,11 @@ const Tensor<T>& MhaLayerT<T>::Forward(const Tensor<T>& q, const Tensor<T>& k,
   }
 
   // Weighted values and output projection.
-  acts.gamma_t = Einsum<T>("whbk,hbjk->whbj", acts.vv_b, acts.alpha);
-  auto proj = Einsum<T>("whi,whbj->ibj", params_.wo, acts.gamma_t);
-  acts.out = Tensor<T>(proj.shape());
+  slot(acts.gamma_t, "gamma", whbj);
+  EinsumInto(S().gamma, acts.vv_b, acts.alpha, acts.gamma_t);
+  Tensor<T> proj = tmp("attn_out", ibj);
+  EinsumInto(S().out, params_.wo, acts.gamma_t, proj);
+  slot(acts.out, "out", ibj);
   ops::BiasForward(proj, params_.bo, acts.out);
   return acts.out;
 }
@@ -99,37 +164,49 @@ void MhaLayerT<T>::Backward(const Tensor<T>& d_out,
   const float scale = 1.0f / std::sqrt(static_cast<float>(d.p));
   const float keep = 1.0f - config_.dropout_prob;
   const float keep_scale = keep > 0 ? 1.0f / keep : 0.0f;
+  const Shape hbjk("hbjk", {d.h, d.b, d.j, d.k});
+  const Shape ibk("ibk", {d.i, d.b, d.k});
   auto& gp = grads.params;
-  gp = MhaParamsT<T>::Init(d, 0);  // allocate shapes
+  gp.EnsureShapes(d);  // accumulators; every entry is overwritten below
 
+  // Backward temporaries reuse owning buffers across steps (the MHA
+  // backward graph is not modeled yet, so there is no plan to bind).
   // Output bias and projection.
   ops::BiasBackwardDW(d_out, gp.bo);
-  auto d_gamma = Einsum<T>("whi,ibj->whbj", params_.wo, d_out);
-  gp.wo = Einsum<T>("ibj,whbj->whi", d_out, acts.gamma_t);
+  Tensor<T> d_gamma(Shape("whbj", {d.p, d.h, d.b, d.j}));
+  EinsumInto(S().out_dx, params_.wo, d_out, d_gamma);
+  EinsumInto(S().out_dw, d_out, acts.gamma_t, gp.wo);
 
   // gamma backward.
-  auto d_alpha = Einsum<T>("whbk,whbj->hbjk", acts.vv_b, d_gamma);
-  auto d_vv = Einsum<T>("whbj,hbjk->whbk", d_gamma, acts.alpha);
+  Tensor<T> d_alpha(hbjk);
+  EinsumInto(S().gamma_dx1, acts.vv_b, d_gamma, d_alpha);
+  Tensor<T> d_vv(Shape("whbk", {d.p, d.h, d.b, d.k}));
+  EinsumInto(S().gamma_dx2, d_gamma, acts.alpha, d_vv);
 
   // BS: dropout + softmax + scale.
-  Tensor<T> d_beta(Shape("hbjk", {d.h, d.b, d.j, d.k}));
+  Tensor<T> d_beta(hbjk);
   ops::ScaledSoftmaxBackwardDX(d_alpha, acts.attn_mask, acts.softmax_saved,
                                'k', scale, keep_scale, d_beta);
 
   // QKT backward.
-  auto d_kk = Einsum<T>("phbj,hbjk->phbk", acts.qq_b, d_beta);
-  auto d_qq = Einsum<T>("hbjk,phbk->phbj", d_beta, acts.kk_b);
+  Tensor<T> d_kk(Shape("phbk", {d.p, d.h, d.b, d.k}));
+  EinsumInto(S().qkt_dx1, acts.qq_b, d_beta, d_kk);
+  Tensor<T> d_qq(Shape("phbj", {d.p, d.h, d.b, d.j}));
+  EinsumInto(S().qkt_dx2, d_beta, acts.kk_b, d_qq);
 
   // Projection biases, weights, and input gradients.
   ops::BiasBackwardDW(d_qq, gp.bq);
   ops::BiasBackwardDW(d_kk, gp.bk);
   ops::BiasBackwardDW(d_vv, gp.bv);
-  grads.d_q = Einsum<T>("phi,phbj->ibj", params_.wq, d_qq);
-  grads.d_k = Einsum<T>("phi,phbk->ibk", params_.wk, d_kk);
-  grads.d_v = Einsum<T>("whi,whbk->ibk", params_.wv, d_vv);
-  gp.wq = Einsum<T>("phbj,ibj->phi", d_qq, acts.q);
-  gp.wk = Einsum<T>("phbk,ibk->phi", d_kk, acts.k);
-  gp.wv = Einsum<T>("whbk,ibk->whi", d_vv, acts.v);
+  grads.d_q.EnsureShape(Shape("ibj", {d.i, d.b, d.j}));
+  grads.d_k.EnsureShape(ibk);
+  grads.d_v.EnsureShape(ibk);
+  EinsumInto(S().q_dx, params_.wq, d_qq, grads.d_q);
+  EinsumInto(S().k_dx, params_.wk, d_kk, grads.d_k);
+  EinsumInto(S().v_dx, params_.wv, d_vv, grads.d_v);
+  EinsumInto(S().q_dw, d_qq, acts.q, gp.wq);
+  EinsumInto(S().k_dw, d_kk, acts.k, gp.wk);
+  EinsumInto(S().v_dw, d_vv, acts.v, gp.wv);
 }
 
 template struct MhaParamsT<Half>;

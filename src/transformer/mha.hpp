@@ -19,6 +19,9 @@
 
 namespace xflow::transformer {
 
+template <typename T>
+class LayerArenaT;  // transformer/arena.hpp
+
 struct MhaConfig {
   graph::ModelDims dims = graph::ModelDims::Tiny();
   float dropout_prob = 0.0f;
@@ -39,6 +42,9 @@ struct MhaParamsT {
 
   static MhaParamsT Init(const graph::ModelDims& d, std::uint64_t seed);
   std::vector<std::pair<std::string, Tensor<T>*>> Named();
+  /// Gives every tensor its parameter shape without initializing values
+  /// (gradient accumulators; Backward overwrites every entry).
+  void EnsureShapes(const graph::ModelDims& d);
 };
 
 template <typename T>
@@ -48,6 +54,11 @@ struct MhaActivationsT {
   Tensor<T> alpha, attn_mask, softmax_saved;
   Tensor<T> gamma_t;
   Tensor<T> out;  // final output [i, b, j]
+
+  /// When set, Forward acquires every activation and temporary from this
+  /// liveness-planned arena (MakeMhaArena) instead of heap-allocating;
+  /// values are bitwise identical to the owning mode.
+  LayerArenaT<T>* arena = nullptr;
 };
 
 template <typename T>

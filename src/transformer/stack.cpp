@@ -2,8 +2,38 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "graph/builder.hpp"
 
 namespace xflow::transformer {
+
+template <typename T>
+EncoderStackWorkspaceT<T>::EncoderStackWorkspaceT(const EncoderConfig& config,
+                                                  int num_layers) {
+  require(num_layers > 0, "workspace needs at least one layer");
+  // One plan serves every layer (same dims, same graph); each layer gets
+  // its own slab.
+  const auto graph = graph::BuildEncoder(
+      config.dims, graph::AlgebraicFusion::kQKV, /*include_backward=*/true);
+  const auto plan = graph::PlanMemory(graph, EncoderPlanOptions<T>());
+  arenas_.reserve(static_cast<std::size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    arenas_.emplace_back(plan);
+  }
+}
+
+template <typename T>
+std::size_t EncoderStackWorkspaceT<T>::planned_bytes() const {
+  std::size_t total = 0;
+  for (const auto& a : arenas_) total += a.plan().peak_bytes();
+  return total;
+}
+
+template <typename T>
+std::size_t EncoderStackWorkspaceT<T>::naive_bytes() const {
+  std::size_t total = 0;
+  for (const auto& a : arenas_) total += a.plan().naive_bytes();
+  return total;
+}
 
 template <typename T>
 EncoderStackT<T>::EncoderStackT(EncoderConfig config, int num_layers,
@@ -21,9 +51,26 @@ EncoderStackT<T>::EncoderStackT(EncoderConfig config, int num_layers,
 }
 
 template <typename T>
+void EncoderStackT<T>::BindWorkspace(
+    EncoderStackWorkspaceT<T>& workspace,
+    std::vector<EncoderActivationsT<T>>& acts,
+    std::vector<EncoderGradientsT<T>>& grads) const {
+  require(workspace.num_layers() == num_layers(),
+          "workspace must have one arena per layer");
+  if (acts.size() != layers_.size()) acts.assign(layers_.size(), {});
+  if (grads.size() != layers_.size()) grads.assign(layers_.size(), {});
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    acts[l].arena = &workspace.layer(static_cast<int>(l));
+    grads[l].arena = &workspace.layer(static_cast<int>(l));
+  }
+}
+
+template <typename T>
 const Tensor<T>& EncoderStackT<T>::Forward(
     const Tensor<T>& x, std::vector<EncoderActivationsT<T>>& acts) const {
-  acts.assign(layers_.size(), {});
+  // Reuse existing entries (and their arena bindings / owning buffers)
+  // when the caller iterates steps; only resize on first use.
+  if (acts.size() != layers_.size()) acts.assign(layers_.size(), {});
   const Tensor<T>* cur = &x;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     layers_[l].Forward(*cur, acts[l]);
@@ -33,18 +80,18 @@ const Tensor<T>& EncoderStackT<T>::Forward(
 }
 
 template <typename T>
-Tensor<T> EncoderStackT<T>::Backward(
+const Tensor<T>& EncoderStackT<T>::Backward(
     const Tensor<T>& d_y, const std::vector<EncoderActivationsT<T>>& acts,
     std::vector<EncoderGradientsT<T>>& grads) const {
   require(acts.size() == layers_.size(),
           "activations must come from this stack's Forward");
-  grads.assign(layers_.size(), {});
-  Tensor<T> grad = d_y;
+  if (grads.size() != layers_.size()) grads.assign(layers_.size(), {});
+  const Tensor<T>* grad = &d_y;
   for (std::size_t l = layers_.size(); l-- > 0;) {
-    layers_[l].Backward(grad, acts[l], grads[l]);
-    grad = grads[l].d_x;
+    layers_[l].Backward(*grad, acts[l], grads[l]);
+    grad = &grads[l].d_x;
   }
-  return grad;
+  return *grad;
 }
 
 template <typename T>
@@ -62,5 +109,7 @@ EncoderStackT<T>::NamedParams() {
 
 template class EncoderStackT<Half>;
 template class EncoderStackT<float>;
+template class EncoderStackWorkspaceT<Half>;
+template class EncoderStackWorkspaceT<float>;
 
 }  // namespace xflow::transformer

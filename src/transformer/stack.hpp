@@ -1,16 +1,42 @@
 // A stack of encoder (or causal decoder) layers with a single
 // forward/backward interface -- "our implementation can also be extended
 // to support a full training pipeline by stacking our optimized layers"
-// (Sec. VI-C).
+// (Sec. VI-C) -- plus the stack-level memory planning that makes a
+// steady-state training step allocation-free: one liveness-planned arena
+// per layer (layers share one plan, but each needs its own slab because
+// its saved activations must survive until its backward runs).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "transformer/arena.hpp"
 #include "transformer/encoder.hpp"
 
 namespace xflow::transformer {
+
+/// Planned arenas for every layer of one stack instance.
+template <typename T>
+class EncoderStackWorkspaceT {
+ public:
+  EncoderStackWorkspaceT(const EncoderConfig& config, int num_layers);
+
+  [[nodiscard]] int num_layers() const {
+    return static_cast<int>(arenas_.size());
+  }
+  [[nodiscard]] LayerArenaT<T>& layer(int index) {
+    return arenas_[static_cast<std::size_t>(index)];
+  }
+  /// Total slab bytes across layers (what the plan reserves).
+  [[nodiscard]] std::size_t planned_bytes() const;
+  /// What per-tensor owning allocation would cost across layers.
+  [[nodiscard]] std::size_t naive_bytes() const;
+
+ private:
+  std::vector<LayerArenaT<T>> arenas_;
+};
 
 template <typename T>
 class EncoderStackT {
@@ -25,16 +51,27 @@ class EncoderStackT {
     return layers_[static_cast<std::size_t>(index)];
   }
 
-  /// Runs every layer; `acts` gets one entry per layer. Returns the final
-  /// output (acts.back().y).
+  /// Sizes `acts`/`grads` for this stack and binds each layer's entry to
+  /// the matching arena of `workspace`. After one warmup step, every
+  /// subsequent Forward/Backward performs zero tensor allocations (the
+  /// planner's steady-state contract, enforced by test).
+  void BindWorkspace(EncoderStackWorkspaceT<T>& workspace,
+                     std::vector<EncoderActivationsT<T>>& acts,
+                     std::vector<EncoderGradientsT<T>>& grads) const;
+
+  /// Runs every layer; `acts` gets one entry per layer (entries -- and
+  /// their arena bindings -- are reused when already sized). Returns the
+  /// final output (acts.back().y).
   const Tensor<T>& Forward(const Tensor<T>& x,
                            std::vector<EncoderActivationsT<T>>& acts) const;
 
-  /// Backpropagates through the whole stack; returns d_x of layer 0 and
-  /// fills one gradient set per layer.
-  Tensor<T> Backward(const Tensor<T>& d_y,
-                     const std::vector<EncoderActivationsT<T>>& acts,
-                     std::vector<EncoderGradientsT<T>>& grads) const;
+  /// Backpropagates through the whole stack; fills one gradient set per
+  /// layer and returns a reference to layer 0's d_x (grads.front().d_x --
+  /// with a bound workspace that tensor is an arena view, overwritten by
+  /// the next step; deep-copy it to keep it longer).
+  const Tensor<T>& Backward(const Tensor<T>& d_y,
+                            const std::vector<EncoderActivationsT<T>>& acts,
+                            std::vector<EncoderGradientsT<T>>& grads) const;
 
   /// All parameters, names prefixed "layer<n>." -- optimizer/checkpoint
   /// friendly.
@@ -45,7 +82,10 @@ class EncoderStackT {
 };
 
 using EncoderStack = EncoderStackT<Half>;
+using EncoderStackWorkspace = EncoderStackWorkspaceT<Half>;
 extern template class EncoderStackT<Half>;
 extern template class EncoderStackT<float>;
+extern template class EncoderStackWorkspaceT<Half>;
+extern template class EncoderStackWorkspaceT<float>;
 
 }  // namespace xflow::transformer

@@ -1,8 +1,10 @@
 #include "transformer/training.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 
 namespace xflow::transformer {
 
@@ -22,18 +24,33 @@ void MixedPrecisionAdam::Step(const std::string& name, TensorF& master,
   ++s.t;
   const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(s.t));
   const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(s.t));
-  for (std::int64_t i = 0; i < master.size(); ++i) {
-    const float g = float(grad.data()[i]);
-    float& m = s.m.data()[i];
-    float& v = s.v.data()[i];
-    m = config_.beta1 * m + (1.0f - config_.beta1) * g;
-    v = config_.beta2 * v + (1.0f - config_.beta2) * g * g;
-    const float m_hat = m / bc1;
-    const float v_hat = v / bc2;
-    master.data()[i] -=
-        config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
-    working.data()[i] = Half(master.data()[i]);
-  }
+  const AdamConfig c = config_;
+  const std::int64_t n = master.size();
+  float* mst = master.data();
+  Half* wrk = working.data();
+  const Half* grd = grad.data();
+  float* m_state = s.m.data();
+  float* v_state = s.v.data();
+  // Runs in fixed-size chunks on the thread pool (same contract as the
+  // ops engine): every element's update depends only on that element, so
+  // any partitioning is bitwise deterministic at every thread count.
+  constexpr std::int64_t kChunk = 4096;
+  const std::int64_t chunks = (n + kChunk - 1) / kChunk;
+  ParallelFor(chunks, 1, [&](std::int64_t ci) {
+    const std::int64_t begin = ci * kChunk;
+    const std::int64_t end = std::min(n, begin + kChunk);
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float g = float(grd[i]);
+      float& m = m_state[i];
+      float& v = v_state[i];
+      m = c.beta1 * m + (1.0f - c.beta1) * g;
+      v = c.beta2 * v + (1.0f - c.beta2) * g * g;
+      const float m_hat = m / bc1;
+      const float v_hat = v / bc2;
+      mst[i] -= c.lr * m_hat / (std::sqrt(v_hat) + c.eps);
+      wrk[i] = Half(mst[i]);
+    }
+  });
 }
 
 std::int64_t MixedPrecisionAdam::steps(const std::string& name) const {

@@ -2,10 +2,32 @@
 
 #include <gtest/gtest.h>
 
+#include "common/threadpool.hpp"
 #include "transformer/encoder.hpp"
 
 namespace xflow::transformer {
 namespace {
+
+TEST(Adam, StepIsBitwiseDeterministicAcrossThreadCounts) {
+  // The update runs chunked on the pool; each element depends only on
+  // itself, so the thread count must never change the result.
+  const Shape shape("x", {100001});  // not a multiple of the chunk size
+  auto grad = TensorH::Random(shape, 3);
+  auto run = [&](int threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    auto master = TensorF::Random(shape, 5);
+    TensorH working = master.Cast<Half>();
+    MixedPrecisionAdam opt({.lr = 1e-2f});
+    for (int step = 0; step < 3; ++step) {
+      opt.Step("w", master, working, grad);
+    }
+    ThreadPool::SetGlobalThreads(ThreadPool::ResolveGlobalThreads());
+    return master;
+  };
+  auto serial = run(1);
+  auto wide = run(8);
+  EXPECT_EQ(MaxAbsDiff(serial, wide), 0.0);
+}
 
 TEST(Adam, ConvergesOnQuadratic) {
   // Minimize (w - 3)^2 elementwise.
