@@ -286,6 +286,41 @@ void BM_EncoderStackStep(benchmark::State& state) {
 }
 BENCHMARK(BM_EncoderStackStep)->ArgName("planned")->Arg(0)->Arg(1);
 
+void BM_EncoderStackStepGraphExec(benchmark::State& state) {
+  // The same planned steady-state train step, driven by the graph-level
+  // executor instead of the hand-wired kernel sequence: the schedule
+  // interpretation overhead should disappear into the kernel time
+  // (results are bitwise identical by test).
+  using namespace xflow::transformer;
+  ThreadGuard threads(1);
+  EncoderConfig cfg;
+  cfg.dims.b = 2;
+  cfg.dims.j = cfg.dims.k = 32;
+  cfg.dims.h = 4;
+  cfg.dims.p = 16;
+  cfg.dims.i = 64;
+  cfg.dims.u = 128;
+  cfg.dropout_prob = 0.1f;
+  cfg.use_graph_executor = true;
+  constexpr int kLayers = 2;
+  EncoderStackT<Half> stack(cfg, kLayers, 3);
+  EncoderStackWorkspaceT<Half> workspace(cfg, kLayers);
+  std::vector<EncoderActivationsT<Half>> acts;
+  std::vector<EncoderGradientsT<Half>> grads;
+  stack.BindWorkspace(workspace, acts, grads);
+  const Shape ibj("ibj", {cfg.dims.i, cfg.dims.b, cfg.dims.j});
+  auto x = TensorH::Random(ibj, 5);
+  auto target = TensorH::Random(ibj, 6);
+  TensorH d_y(ibj);
+  for (auto _ : state) {
+    const auto& y = stack.Forward(x, acts);
+    benchmark::DoNotOptimize(MseLoss(y, target, d_y));
+    stack.Backward(d_y, acts, grads);
+    benchmark::DoNotOptimize(grads.front().d_x.data());
+  }
+}
+BENCHMARK(BM_EncoderStackStepGraphExec);
+
 void BM_AdamStep(benchmark::State& state) {
   // The mixed-precision optimizer update, now chunked on the pool.
   using namespace xflow::transformer;

@@ -57,6 +57,10 @@ void AddMapOp(DataflowGraph& g, std::string name, OpKind kind,
 }  // namespace
 
 DataflowGraph BuildMhaForward(const ModelDims& d) {
+  return BuildMha(d, /*include_backward=*/false);
+}
+
+DataflowGraph BuildMha(const ModelDims& d, bool include_backward) {
   DataflowGraph g;
   // Inputs (general attention: distinct q, k, v as in Fig. 1).
   g.AddTensor("q", Shape("ibj", {d.i, d.b, d.j}));
@@ -99,6 +103,52 @@ DataflowGraph BuildMhaForward(const ModelDims& d) {
   AddContraction(g, "out", "whi,whbj->ibj", "wo", "gamma", {"attn_out"});
   AddMapOp(g, "bias out", OpKind::kBias, {"attn_out", "bo"}, {"out"},
            "attn_out");
+  if (!include_backward) return g;
+
+  // ---- Containers: backward (d_out arrives from the caller).
+  g.AddTensor("d_out", Shape("ibj", {d.i, d.b, d.j}));
+  g.AddTensor("d_bo", Shape("i", {d.i}), /*is_weight=*/true);
+  g.AddTensor("d_gamma", Shape("whbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("d_wo", Shape("whi", {d.p, d.h, d.i}), true);
+  g.AddTensor("d_alpha", Shape("hbjk", {d.h, d.b, d.j, d.k}));
+  g.AddTensor("d_vv", Shape("whbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("d_beta", Shape("hbjk", {d.h, d.b, d.j, d.k}));
+  g.AddTensor("d_kk", Shape("phbk", {d.p, d.h, d.b, d.k}));
+  g.AddTensor("d_qq", Shape("phbj", {d.p, d.h, d.b, d.j}));
+  g.AddTensor("d_bq", Shape("ph", {d.p, d.h}), true);
+  g.AddTensor("d_bk", Shape("ph", {d.p, d.h}), true);
+  g.AddTensor("d_bv", Shape("wh", {d.p, d.h}), true);
+  g.AddTensor("d_q", Shape("ibj", {d.i, d.b, d.j}));
+  g.AddTensor("d_k", Shape("ibk", {d.i, d.b, d.k}));
+  g.AddTensor("d_v", Shape("ibk", {d.i, d.b, d.k}));
+  g.AddTensor("d_wq", Shape("phi", {d.p, d.h, d.i}), true);
+  g.AddTensor("d_wk", Shape("phi", {d.p, d.h, d.i}), true);
+  g.AddTensor("d_wv", Shape("whi", {d.p, d.h, d.i}), true);
+
+  // ---- Backward operators, in MhaLayerT::Backward's execution order so
+  // the first-fit plan's liveness matches the runtime exactly.
+  AddMapOp(g, "bias out dW", OpKind::kBiasDW, {"d_out"}, {"d_bo"},
+           "attn_out", "bj");
+  AddContraction(g, "out dX", "whi,ibj->whbj", "wo", "d_out", {"d_gamma"});
+  AddContraction(g, "out dW", "ibj,whbj->whi", "d_out", "gamma", {"d_wo"});
+  AddContraction(g, "gamma dX1", "whbk,whbj->hbjk", "vv_b", "d_gamma",
+                 {"d_alpha"});
+  AddContraction(g, "gamma dX2", "whbj,hbjk->whbk", "d_gamma", "alpha",
+                 {"d_vv"});
+  AddMapOp(g, "scaled softmax dX", OpKind::kScaledSoftmaxDX,
+           {"d_alpha", "attn_mask", "softmax_saved"}, {"d_beta"}, "beta",
+           "k");
+  AddContraction(g, "QKT dX1", "phbj,hbjk->phbk", "qq_b", "d_beta", {"d_kk"});
+  AddContraction(g, "QKT dX2", "hbjk,phbk->phbj", "d_beta", "kk_b", {"d_qq"});
+  AddMapOp(g, "bias Q dW", OpKind::kBiasDW, {"d_qq"}, {"d_bq"}, "qq", "bj");
+  AddMapOp(g, "bias K dW", OpKind::kBiasDW, {"d_kk"}, {"d_bk"}, "kk", "bk");
+  AddMapOp(g, "bias V dW", OpKind::kBiasDW, {"d_vv"}, {"d_bv"}, "vv", "bk");
+  AddContraction(g, "Q dX", "phi,phbj->ibj", "wq", "d_qq", {"d_q"});
+  AddContraction(g, "K dX", "phi,phbk->ibk", "wk", "d_kk", {"d_k"});
+  AddContraction(g, "V dX", "whi,whbk->ibk", "wv", "d_vv", {"d_v"});
+  AddContraction(g, "Q dW", "phbj,ibj->phi", "d_qq", "q", {"d_wq"});
+  AddContraction(g, "K dW", "phbk,ibk->phi", "d_kk", "k", {"d_wk"});
+  AddContraction(g, "V dW", "whbk,ibk->whi", "d_vv", "v", {"d_wv"});
   return g;
 }
 

@@ -56,8 +56,15 @@ struct ModelDims {
 /// The algebraic-fusion choice for the Q/K/V input projections (Sec. IV-D).
 enum class AlgebraicFusion { kNone, kQK, kQKV };
 
-/// Multi-head attention forward graph with distinct query/key/value inputs
-/// (general attention), matching the paper's Fig. 1.
+/// Multi-head attention graph with distinct query/key/value inputs
+/// (general attention), matching the paper's Fig. 1. With
+/// `include_backward` the backpropagation operators are appended in the
+/// order MhaLayerT::Backward executes them, so the memory planner covers
+/// the whole step (saved activations live exactly until the backward op
+/// that consumes them instead of being pinned for the step).
+DataflowGraph BuildMha(const ModelDims& dims, bool include_backward);
+
+/// The forward-only Fig. 1 graph (the figure's own scope).
 DataflowGraph BuildMhaForward(const ModelDims& dims);
 
 /// Full BERT encoder layer graph (self-attention + feed-forward), at the

@@ -1,0 +1,555 @@
+#include "graph/executor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "fusion/fuser.hpp"
+#include "ops/elementwise.hpp"
+#include "ops/fused.hpp"
+#include "ops/layernorm.hpp"
+#include "ops/softmax.hpp"
+
+namespace xflow::graph {
+
+namespace {
+
+/// Aliasing relabel: the same bytes under positional dim names `names`
+/// (the executor's equivalent of the hand-wired layer's RenamedDim
+/// chains, e.g. presenting the phbk key block as phbj for the stacked
+/// bias kernels).
+template <typename T>
+Tensor<T> Relabeled(const Tensor<T>& t, const std::string& names) {
+  require(static_cast<std::size_t>(t.shape().rank()) == names.size(),
+          "relabel rank mismatch");
+  std::vector<DimExt> dims;
+  dims.reserve(names.size());
+  for (std::size_t d = 0; d < names.size(); ++d) {
+    dims.push_back({names[d], t.shape().dims()[d].extent});
+  }
+  return Tensor<T>::FromSpan(Shape(std::move(dims)),
+                             const_cast<T*>(t.data()));
+}
+
+/// The normalization dim of a layernorm-family op. Forward and dX reduce
+/// over it; dW iterates it independently and reduces everything else.
+char NormDim(const OpNode& op) {
+  const auto& dims = op.kind == OpKind::kLayerNormDW ? op.independent_dims
+                                                     : op.reduction_dims;
+  require(!dims.empty(), StrFormat("op '%s' has no normalization dim",
+                                   op.name.c_str()));
+  return dims.front().name;
+}
+
+char ReduceDim(const OpNode& op) {
+  require(!op.reduction_dims.empty(),
+          StrFormat("op '%s' has no reduction dim", op.name.c_str()));
+  return op.reduction_dims.front().name;
+}
+
+}  // namespace
+
+template <typename T>
+bool GraphExecutorT<T>::IsBackwardKind(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBiasDW:
+    case OpKind::kReLUDX:
+    case OpKind::kDropoutDX:
+    case OpKind::kResidualBwd:
+    case OpKind::kScaledSoftmaxDX:
+    case OpKind::kLayerNormDX:
+    case OpKind::kLayerNormDW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+template <typename T>
+GraphExecutorT<T>::GraphExecutorT(DataflowGraph graph, const MemoryPlan* plan,
+                                  Workspace* workspace,
+                                  ExecutorOptions options)
+    : graph_(std::move(graph)), plan_(plan), workspace_(workspace),
+      options_(std::move(options)) {
+  require(plan_ != nullptr && workspace_ != nullptr,
+          "executor needs a memory plan and a workspace");
+  require(workspace_->capacity() >= plan_->peak_bytes(),
+          "workspace is smaller than the plan's peak bytes");
+  BuildBindings();
+  BuildSchedule();
+}
+
+template <typename T>
+void GraphExecutorT<T>::BuildBindings() {
+  // Planned containers become fixed views into the slab. Statistics
+  // containers (a different element width than T, e.g. fp32 layernorm
+  // moments among fp16 activations) get fp32 views; when T is float the
+  // widths coincide and everything lands in the T map.
+  for (const auto& [name, node] : graph_.tensors()) {
+    if (!plan_->Contains(name)) continue;  // weights / excluded inputs
+    const TensorPlacement& p = plan_->at(name);
+    if (p.shape.rank() == 0) continue;  // group aliases handled below
+    if (p.elem_bytes == sizeof(T)) {
+      bound_.emplace(name, workspace_->ViewAt<T>(p.offset, node.shape));
+    } else {
+      require(p.elem_bytes == sizeof(float),
+              StrFormat("container '%s' has unsupported element width",
+                        name.c_str()));
+      stats_.emplace(name, workspace_->ViewAt<float>(p.offset, node.shape));
+    }
+  }
+  // Stacked groups: one spanning view, shaped as the first member with
+  // the stack dim's extent summed (the zero-copy [Q~ K~ V~] block).
+  for (const PlanGroup& g : options_.stacked) {
+    if (!plan_->Contains(g.name)) continue;
+    const TensorPlacement& alias = plan_->at(g.name);
+    const Shape& first = graph_.tensor(g.members.front()).shape;
+    std::int64_t stacked_extent = 0;
+    for (const auto& m : g.members) {
+      stacked_extent += graph_.tensor(m).shape.dims().front().extent;
+    }
+    std::vector<DimExt> dims = first.dims();
+    dims.front().extent = stacked_extent;
+    Shape shape{std::move(dims)};
+    require(static_cast<std::size_t>(shape.num_elements()) * sizeof(T) ==
+                alias.bytes,
+            StrFormat("group '%s' does not span its members",
+                      g.name.c_str()));
+    bound_.emplace(g.name, workspace_->ViewAt<T>(alias.offset, shape));
+  }
+}
+
+template <typename T>
+void GraphExecutorT<T>::BuildSchedule() {
+  const auto& ops = graph_.ops();
+  backward_begin_ = static_cast<int>(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (IsBackwardKind(ops[i].kind)) {
+      backward_begin_ = static_cast<int>(i);
+      break;
+    }
+  }
+
+  // Per-op attributes resolved once: parsed einsum specs, stacked-operand
+  // substitution, and the dropout seed schedule (appearance order over
+  // the dropout-bearing ops, matching the layer's per-site streams).
+  std::size_t next_seed = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const OpNode& op = ops[i];
+    const int idx = static_cast<int>(i);
+    if (op.kind == OpKind::kScaledSoftmax || op.kind == OpKind::kDropout) {
+      require(next_seed < options_.dropout_seeds.size(),
+              StrFormat("no dropout seed for op '%s' (provide one per "
+                        "dropout-bearing op, in graph order)",
+                        op.name.c_str()));
+      dropout_seed_[idx] = options_.dropout_seeds[next_seed++];
+    }
+    if (op.kind != OpKind::kContraction) continue;
+    require(!op.einsum.empty(),
+            StrFormat("contraction '%s' has no einsum spec", op.name.c_str()));
+    specs_.emplace(idx, EinsumSpec::Parse(op.einsum));
+    ContractionOperands operands;
+    if (op.inputs.size() == 2) {
+      operands.a = op.inputs[0];
+      operands.b = op.inputs[1];
+    } else if (const PlanGroup* g =
+                   GroupMatching(op.inputs, 1, op.inputs.size() - 1)) {
+      operands.a = op.inputs[0];  // e.g. Q,K,V dX: w_qkv x [dQ~ dK~ dV~]
+      operands.b = g->name;
+    } else if (const PlanGroup* h =
+                   GroupMatching(op.inputs, 0, op.inputs.size() - 1)) {
+      operands.a = h->name;  // e.g. Q,K,V dW: [dQ~ dK~ dV~] x x
+      operands.b = op.inputs.back();
+    } else {
+      require(false, StrFormat("contraction '%s' has %zu inputs and no "
+                               "matching stacked group",
+                               op.name.c_str(), op.inputs.size()));
+    }
+    if (op.outputs.size() == 1) {
+      operands.out = op.outputs[0];
+    } else if (const PlanGroup* g =
+                   GroupMatching(op.outputs, 0, op.outputs.size())) {
+      operands.out = g->name;  // e.g. Q,K,V: one stacked GEMM output
+    } else {
+      require(false, StrFormat("contraction '%s' writes %zu outputs and no "
+                               "matching stacked group",
+                               op.name.c_str(), op.outputs.size()));
+    }
+    contraction_operands_[idx] = std::move(operands);
+  }
+
+  // Schedule. Fused mode takes the groups the fusion pass chooses and
+  // dispatches the recognized paper kernels as single launches; anything
+  // unrecognized falls back to per-op execution, so fuser changes degrade
+  // to correct (if slower) schedules instead of failing.
+  steps_.clear();
+  auto push_single = [&](int idx) {
+    steps_.push_back(Step{StepKind::kSingle, {idx}});
+  };
+  if (options_.use_fused_kernels) {
+    const auto fused = fusion::FuseMaximally(graph_);
+    for (const auto& kernel : fused.kernels) {
+      if (kernel.op_indices.size() == 1) {
+        push_single(kernel.op_indices.front());
+        continue;
+      }
+      StepKind kind = StepKind::kSingle;
+      if (kernel.name == "DRLN" || kernel.name == "BDRLN") {
+        kind = StepKind::kDRLN;
+      } else if (kernel.name == "BRD") {
+        kind = StepKind::kBRD;
+      } else if (kernel.name == "BLNRD") {
+        kind = StepKind::kBLNRD;
+      } else if (kernel.name == "BDRB") {
+        kind = StepKind::kBDRB;
+      } else if (kernel.name == "EBSB") {
+        kind = StepKind::kEBSB;
+      }
+      if (kind == StepKind::kSingle) {
+        for (int idx : kernel.op_indices) push_single(idx);
+      } else {
+        steps_.push_back(Step{kind, kernel.op_indices});
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < graph_.ops().size(); ++i) {
+      push_single(static_cast<int>(i));
+    }
+  }
+
+  backward_begin_step_ = static_cast<int>(steps_.size());
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    if (steps_[s].ops.front() >= backward_begin_) {
+      backward_begin_step_ = static_cast<int>(s);
+      break;
+    }
+  }
+}
+
+template <typename T>
+const PlanGroup* GraphExecutorT<T>::GroupMatching(
+    const std::vector<std::string>& names, std::size_t begin,
+    std::size_t count) const {
+  for (const PlanGroup& g : options_.stacked) {
+    if (g.members.size() != count || !plan_->Contains(g.name)) continue;
+    bool match = true;
+    for (std::size_t m = 0; m < count; ++m) {
+      if (g.members[m] != names[begin + m]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &g;
+  }
+  return nullptr;
+}
+
+template <typename T>
+void GraphExecutorT<T>::BindInput(const std::string& name,
+                                  const Tensor<T>& tensor) {
+  require(graph_.HasTensor(name),
+          StrFormat("graph has no container '%s'", name.c_str()));
+  require(tensor.size() == graph_.tensor(name).shape.num_elements(),
+          StrFormat("bound '%s' does not match its graph element count",
+                    name.c_str()));
+  // Stored as an aliasing view: never copied, never written (enforced at
+  // dispatch through the writable_ flag).
+  bound_.insert_or_assign(
+      name, Tensor<T>::FromSpan(tensor.shape(), const_cast<T*>(tensor.data())));
+  writable_[name] = false;
+}
+
+template <typename T>
+void GraphExecutorT<T>::BindOutput(const std::string& name, Tensor<T>& tensor) {
+  require(graph_.HasTensor(name),
+          StrFormat("graph has no container '%s'", name.c_str()));
+  require(tensor.size() == graph_.tensor(name).shape.num_elements(),
+          StrFormat("bound '%s' does not match its graph element count",
+                    name.c_str()));
+  bound_.insert_or_assign(name,
+                          Tensor<T>::FromSpan(tensor.shape(), tensor.data()));
+  writable_[name] = true;
+}
+
+template <typename T>
+Tensor<T>& GraphExecutorT<T>::View(const std::string& name) {
+  const auto it = bound_.find(name);
+  require(it != bound_.end(),
+          StrFormat("container '%s' is not planned and not bound -- bind "
+                    "weights and graph inputs with BindInput/BindOutput",
+                    name.c_str()));
+  return it->second;
+}
+
+template <typename T>
+Tensor<T>& GraphExecutorT<T>::MutableView(const std::string& name) {
+  Tensor<T>& t = View(name);
+  const auto w = writable_.find(name);
+  require(w == writable_.end() || w->second,
+          StrFormat("op writes read-only external container '%s' (bind it "
+                    "with BindOutput)",
+                    name.c_str()));
+  return t;
+}
+
+template <typename T>
+TensorF& GraphExecutorT<T>::StatView(const std::string& name) {
+  if constexpr (std::is_same_v<T, float>) {
+    return View(name);
+  } else {
+    const auto it = stats_.find(name);
+    require(it != stats_.end(),
+            StrFormat("container '%s' is not a planned statistic",
+                      name.c_str()));
+    return it->second;
+  }
+}
+
+template <typename T>
+void GraphExecutorT<T>::Forward() {
+  RunRange(0, backward_begin_step_);
+}
+
+template <typename T>
+void GraphExecutorT<T>::Backward() {
+  RunRange(backward_begin_step_, static_cast<int>(steps_.size()));
+}
+
+template <typename T>
+void GraphExecutorT<T>::RunRange(int begin_step, int end_step) {
+  for (int s = begin_step; s < end_step; ++s) {
+    Dispatch(steps_[static_cast<std::size_t>(s)]);
+  }
+}
+
+template <typename T>
+void GraphExecutorT<T>::Dispatch(const Step& step) {
+  const auto op = [&](std::size_t member) -> const OpNode& {
+    return graph_.ops()[static_cast<std::size_t>(step.ops[member])];
+  };
+  const float keep = 1.0f - options_.dropout_prob;
+  const float keep_scale = keep > 0 ? 1.0f / keep : 0.0f;
+  switch (step.kind) {
+    case StepKind::kSingle:
+      DispatchSingle(op(0), step.ops[0]);
+      return;
+    case StepKind::kDRLN: {
+      // bias -> dropout -> residual -> layernorm, one pass over memory.
+      const OpNode& bias = op(0);
+      const OpNode& drop = op(1);
+      const OpNode& resid = op(2);
+      const OpNode& ln = op(3);
+      // The residual leg is the input the group did not produce itself.
+      const std::string& res_in =
+          resid.inputs[0] == drop.outputs[0] ? resid.inputs[1]
+                                             : resid.inputs[0];
+      const DropoutMask mask(dropout_seed_.at(step.ops[1]),
+                             options_.dropout_prob);
+      ops::BiasDropoutResidualLayerNorm(
+          View(bias.inputs[0]), View(bias.inputs[1]), View(res_in), mask,
+          View(ln.inputs[1]), View(ln.inputs[2]), NormDim(ln),
+          options_.ln_eps, MutableView(resid.outputs[0]),
+          MutableView(drop.outputs[1]), MutableView(ln.outputs[0]),
+          StatView(ln.outputs[1]), StatView(ln.outputs[2]));
+      return;
+    }
+    case StepKind::kBRD: {
+      const OpNode& bias = op(0);
+      const OpNode& relu = op(1);
+      const OpNode& drop = op(2);
+      const DropoutMask mask(dropout_seed_.at(step.ops[2]),
+                             options_.dropout_prob);
+      ops::BiasReluDropout(View(bias.inputs[0]), View(bias.inputs[1]), mask,
+                           MutableView(relu.outputs[0]),
+                           MutableView(drop.outputs[0]),
+                           MutableView(drop.outputs[1]));
+      return;
+    }
+    case StepKind::kBLNRD: {
+      const OpNode& ln_dx = op(0);
+      const OpNode& drop_dx = op(1);
+      ops::LayerNormDropoutBackward(
+          View(ln_dx.inputs[0]), View(ln_dx.inputs[1]), View(ln_dx.inputs[2]),
+          StatView(ln_dx.inputs[3]), StatView(ln_dx.inputs[4]),
+          View(drop_dx.inputs[1]), NormDim(ln_dx), keep_scale,
+          MutableView(ln_dx.outputs[0]), MutableView(drop_dx.outputs[0]));
+      return;
+    }
+    case StepKind::kBDRB: {
+      const OpNode& bias_hi = op(0);
+      const OpNode& drop_dx = op(1);
+      const OpNode& relu_dx = op(2);
+      const OpNode& bias_lo = op(3);
+      ops::BiasDropoutReluBiasBackward(
+          View(bias_hi.inputs[0]), View(drop_dx.inputs[0]),
+          View(drop_dx.inputs[1]), View(relu_dx.inputs[1]), keep_scale,
+          MutableView(bias_hi.outputs[0]), MutableView(relu_dx.outputs[0]),
+          MutableView(bias_lo.outputs[0]));
+      return;
+    }
+    case StepKind::kEBSB: {
+      const OpNode& resid = op(0);
+      const OpNode& ln_dw = op(1);
+      ops::ResidualLayerNormDwBackward(
+          View(resid.inputs[0]), View(resid.inputs[1]), View(ln_dw.inputs[1]),
+          StatView(ln_dw.inputs[2]), StatView(ln_dw.inputs[3]),
+          NormDim(ln_dw), MutableView(resid.outputs[0]),
+          MutableView(ln_dw.outputs[0]), MutableView(ln_dw.outputs[1]));
+      return;
+    }
+  }
+}
+
+template <typename T>
+void GraphExecutorT<T>::DispatchSingle(const OpNode& op, int op_index) {
+  const float keep = 1.0f - options_.dropout_prob;
+  const float keep_scale = keep > 0 ? 1.0f / keep : 0.0f;
+  switch (op.kind) {
+    case OpKind::kContraction: {
+      const ContractionOperands& o = contraction_operands_.at(op_index);
+      EinsumInto(specs_.at(op_index), View(o.a), View(o.b),
+                 MutableView(o.out));
+      return;
+    }
+    case OpKind::kBias: {
+      if (op.outputs.size() == 1) {
+        ops::BiasForward(View(op.inputs[0]), View(op.inputs[1]),
+                         MutableView(op.outputs[0]));
+        return;
+      }
+      // Stacked projection bias (the AIB site): the last input is the
+      // stacked bias; member blocks are presented under the first
+      // member's dim names, exactly like the hand-wired layer's renamed
+      // views, so the bias's stack dim lines up for every block.
+      require(op.outputs.size() == 3 && op.inputs.size() == 4,
+              StrFormat("unsupported bias arity on '%s'", op.name.c_str()));
+      const Tensor<T>& stacked_bias = View(op.inputs.back());
+      const std::string names = View(op.inputs[0]).shape().names();
+      std::array<Tensor<T>, 3> in;
+      std::array<Tensor<T>, 3> out;
+      for (std::size_t s = 0; s < 3; ++s) {
+        in[s] = Relabeled(View(op.inputs[s]), names);
+        out[s] = Relabeled(MutableView(op.outputs[s]), names);
+      }
+      const char stack_dim = stacked_bias.shape().dims().front().name;
+      if (options_.use_fused_kernels) {
+        ops::AttnInputBias<T>({&in[0], &in[1], &in[2]}, stacked_bias,
+                              stack_dim, {&out[0], &out[1], &out[2]});
+      } else {
+        std::int64_t start = 0;
+        for (std::size_t s = 0; s < 3; ++s) {
+          const std::int64_t count = in[s].shape().dims().front().extent;
+          ops::BiasForward(in[s],
+                           stacked_bias.SliceViewDim(stack_dim, start, count),
+                           out[s]);
+          start += count;
+        }
+      }
+      return;
+    }
+    case OpKind::kReLU:
+      ops::ReluForward(View(op.inputs[0]), MutableView(op.outputs[0]));
+      return;
+    case OpKind::kDropout: {
+      const DropoutMask mask(dropout_seed_.at(op_index),
+                             options_.dropout_prob);
+      ops::DropoutForward(View(op.inputs[0]), mask,
+                          MutableView(op.outputs[0]),
+                          MutableView(op.outputs[1]));
+      return;
+    }
+    case OpKind::kResidual:
+    case OpKind::kResidualBwd:
+      ops::ResidualForward(View(op.inputs[0]), View(op.inputs[1]),
+                           MutableView(op.outputs[0]));
+      return;
+    case OpKind::kScale:
+      ops::ScaleForward(View(op.inputs[0]), options_.attn_scale,
+                        MutableView(op.outputs[0]));
+      return;
+    case OpKind::kScaledSoftmax: {
+      const DropoutMask mask(dropout_seed_.at(op_index),
+                             options_.dropout_prob);
+      if (options_.causal) {
+        ops::CausalScaledSoftmaxForward(
+            View(op.inputs[0]), ReduceDim(op), options_.attn_query_dim,
+            options_.attn_scale, mask, MutableView(op.outputs[0]),
+            MutableView(op.outputs[1]), MutableView(op.outputs[2]));
+      } else {
+        ops::ScaledSoftmaxForward(
+            View(op.inputs[0]), ReduceDim(op), options_.attn_scale, mask,
+            MutableView(op.outputs[0]), MutableView(op.outputs[1]),
+            MutableView(op.outputs[2]));
+      }
+      return;
+    }
+    case OpKind::kLayerNorm:
+      ops::LayerNormForward(View(op.inputs[0]), View(op.inputs[1]),
+                            View(op.inputs[2]), NormDim(op), options_.ln_eps,
+                            MutableView(op.outputs[0]),
+                            StatView(op.outputs[1]),
+                            StatView(op.outputs[2]));
+      return;
+    case OpKind::kBiasDW: {
+      if (op.inputs.size() == 1) {
+        ops::BiasBackwardDW(View(op.inputs[0]), MutableView(op.outputs[0]));
+        return;
+      }
+      // Stacked bias gradient (the BAIB site).
+      const PlanGroup* g = GroupMatching(op.inputs, 0, op.inputs.size());
+      require(g != nullptr && op.inputs.size() == 3,
+              StrFormat("bias dW '%s' has multiple inputs but no stacked "
+                        "group",
+                        op.name.c_str()));
+      Tensor<T>& d_bias = MutableView(op.outputs[0]);
+      if (options_.use_fused_kernels) {
+        const std::string names = View(op.inputs[0]).shape().names();
+        std::array<Tensor<T>, 3> in;
+        for (std::size_t s = 0; s < 3; ++s) {
+          in[s] = Relabeled(View(op.inputs[s]), names);
+        }
+        const char stack_dim = d_bias.shape().dims().front().name;
+        ops::AttnInputBiasBackward<T>({&in[0], &in[1], &in[2]}, stack_dim,
+                                      d_bias);
+      } else {
+        ops::BiasBackwardDW(View(g->name), d_bias);
+      }
+      return;
+    }
+    case OpKind::kReLUDX:
+      ops::ReluBackwardDX(View(op.inputs[0]), View(op.inputs[1]),
+                          MutableView(op.outputs[0]));
+      return;
+    case OpKind::kDropoutDX:
+      ops::DropoutBackwardDX(View(op.inputs[0]), View(op.inputs[1]),
+                             keep_scale, MutableView(op.outputs[0]));
+      return;
+    case OpKind::kScaledSoftmaxDX:
+      ops::ScaledSoftmaxBackwardDX(View(op.inputs[0]), View(op.inputs[1]),
+                                   View(op.inputs[2]), ReduceDim(op),
+                                   options_.attn_scale, keep_scale,
+                                   MutableView(op.outputs[0]));
+      return;
+    case OpKind::kLayerNormDX:
+      ops::LayerNormBackwardDX(View(op.inputs[0]), View(op.inputs[1]),
+                               View(op.inputs[2]), StatView(op.inputs[3]),
+                               StatView(op.inputs[4]), NormDim(op),
+                               MutableView(op.outputs[0]));
+      return;
+    case OpKind::kLayerNormDW:
+      ops::LayerNormBackwardDW(View(op.inputs[0]), View(op.inputs[1]),
+                               StatView(op.inputs[2]), StatView(op.inputs[3]),
+                               NormDim(op), MutableView(op.outputs[0]),
+                               MutableView(op.outputs[1]));
+      return;
+  }
+  require(false, StrFormat("no dispatch for op '%s'", op.name.c_str()));
+}
+
+template class GraphExecutorT<Half>;
+template class GraphExecutorT<float>;
+
+}  // namespace xflow::graph

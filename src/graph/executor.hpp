@@ -1,0 +1,159 @@
+// Graph-level execution of a DataflowGraph over a liveness-planned arena.
+//
+// PR 4 made the dataflow graph the unit of *planning*: every container
+// gets a fixed offset in one Workspace slab. This executor makes it the
+// unit of *execution* too, closing the loop of the paper's data-centric
+// recipe (Ivanov et al., MLSys 2021; cf. Rausch et al. 2021): the same
+// graph that is analyzed, fused and planned is walked op by op, each
+// tensor id resolving to its planned slab bytes, and each OpKind
+// dispatching to the existing kernel library (EinsumInto, the softmax /
+// layernorm / element-wise ops and the paper's fused kernels).
+//
+// Binding rules:
+//   * planned containers (activations, masks, statistics, gradients of
+//     activations) resolve to Workspace views at their MemoryPlan offset;
+//   * weights, weight gradients and graph inputs (x, d_y) are *external*:
+//     the caller binds them by reference (BindInput / BindOutput) and the
+//     executor never copies or stages them;
+//   * plan groups (the algebraically stacked Q/K/V blocks) resolve to one
+//     contiguous view spanning their members, so stacked contractions
+//     read/write a single tensor with zero-copy splits.
+//
+// With `use_fused_kernels` the schedule comes from fusion::FuseMaximally:
+// recognized multi-op kernels (DRLN/BDRLN, BRD, BLNRD, BDRB, EBSB)
+// dispatch as one fused launch -- the same launches the hand-wired layer
+// performs -- so executor results are bitwise identical to the hand-wired
+// path at every thread count. Steady-state Run calls perform zero tensor
+// or workspace allocations: all views are non-owning aliases.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/memory_plan.hpp"
+#include "tensor/einsum.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
+
+namespace xflow::graph {
+
+/// Runtime attributes the graph does not carry: the scalar knobs of the
+/// softmax/layernorm/dropout kernels and the dropout seed schedule.
+struct ExecutorOptions {
+  /// Dispatch recognized multi-op groups as the paper's fused kernels;
+  /// otherwise every op runs as its own kernel launch.
+  bool use_fused_kernels = true;
+  /// Causal (decoder-style) attention masking inside the SM kernel.
+  bool causal = false;
+  float dropout_prob = 0.0f;
+  float ln_eps = 1e-5f;
+  /// The 1/sqrt(p) scaling folded into the SM/BS kernels (also used for
+  /// standalone kScale nodes, which model the same attention scaling).
+  float attn_scale = 1.0f;
+  /// Query-position dim for causal masking (the paper's j).
+  char attn_query_dim = 'j';
+  /// Seeds for the dropout-bearing ops (kScaledSoftmax, kDropout), in
+  /// graph appearance order -- the layer's per-site Philox streams.
+  std::vector<std::uint64_t> dropout_seeds;
+  /// Contiguous stacked blocks of the plan (PlanOptions::groups): a
+  /// contraction whose input/output list matches a group's members
+  /// reads/writes the group's single spanning view.
+  std::vector<PlanGroup> stacked;
+};
+
+/// Interprets a DataflowGraph over a planned Workspace slab. `plan` and
+/// `workspace` (typically a LayerArenaT's) must outlive the executor and
+/// the workspace must already be reserved to plan->peak_bytes().
+template <typename T>
+class GraphExecutorT {
+ public:
+  GraphExecutorT(DataflowGraph graph, const MemoryPlan* plan,
+                 Workspace* workspace, ExecutorOptions options);
+
+  /// Binds a read-only external container (graph input or weight). The
+  /// tensor's storage must stay valid and unmoved until the next rebind;
+  /// rebinding every Run is cheap (an aliasing view, no copy).
+  void BindInput(const std::string& name, const Tensor<T>& tensor);
+  /// Binds a writable external container (a weight gradient). Must
+  /// already have its graph shape's element count.
+  void BindOutput(const std::string& name, Tensor<T>& tensor);
+
+  /// Executes the forward ops: [0, backward_begin).
+  void Forward();
+  /// Executes the backward ops: [backward_begin, num_ops).
+  void Backward();
+
+  /// Index of the first backward op (== ops().size() for forward-only
+  /// graphs): the boundary between Forward() and Backward().
+  [[nodiscard]] int backward_begin() const { return backward_begin_; }
+  [[nodiscard]] const DataflowGraph& graph() const { return graph_; }
+  [[nodiscard]] const ExecutorOptions& options() const { return options_; }
+  /// Number of scheduled kernel launches (fused groups count once).
+  [[nodiscard]] int num_steps() const {
+    return static_cast<int>(steps_.size());
+  }
+
+  /// True for the backward-pass kinds (the kinds appended after the
+  /// forward graph by the builders).
+  static bool IsBackwardKind(OpKind kind);
+
+ private:
+  /// One scheduled kernel launch: a single op, or a recognized fused
+  /// group dispatched as one of the paper's fused kernels.
+  enum class StepKind {
+    kSingle,  // dispatch by OpKind
+    kDRLN,    // [B]DRLN: bias + dropout + residual + layernorm
+    kBRD,     // bias + ReLU + dropout
+    kBLNRD,   // layernorm dX + dropout dX
+    kBDRB,    // bias dW + dropout dX + ReLU dX + bias dW
+    kEBSB,    // residual merge + layernorm dW
+  };
+  struct Step {
+    StepKind kind = StepKind::kSingle;
+    std::vector<int> ops;  // graph op indices, in graph order
+  };
+  /// Resolved operand roles of a contraction step (group names already
+  /// substituted for stacked member lists).
+  struct ContractionOperands {
+    std::string a, b, out;
+  };
+
+  void BuildBindings();
+  void BuildSchedule();
+  void RunRange(int begin_step, int end_step);
+  void Dispatch(const Step& step);
+  void DispatchSingle(const OpNode& op, int op_index);
+
+  [[nodiscard]] Tensor<T>& View(const std::string& name);
+  [[nodiscard]] Tensor<T>& MutableView(const std::string& name);
+  [[nodiscard]] TensorF& StatView(const std::string& name);
+  [[nodiscard]] const PlanGroup* GroupMatching(
+      const std::vector<std::string>& names, std::size_t begin,
+      std::size_t count) const;
+
+  DataflowGraph graph_;
+  const MemoryPlan* plan_;
+  Workspace* workspace_;
+  ExecutorOptions options_;
+
+  std::map<std::string, Tensor<T>> bound_;  // planned views + externals
+  std::map<std::string, bool> writable_;    // externals only
+  std::map<std::string, TensorF> stats_;    // fp32 statistics views
+  std::map<int, EinsumSpec> specs_;         // parsed once per contraction
+  std::map<int, ContractionOperands> contraction_operands_;
+  std::map<int, std::uint64_t> dropout_seed_;  // per dropout-bearing op
+  std::vector<Step> steps_;
+  int backward_begin_ = 0;       // op index
+  int backward_begin_step_ = 0;  // step index
+};
+
+using GraphExecutor = GraphExecutorT<Half>;
+
+extern template class GraphExecutorT<Half>;
+extern template class GraphExecutorT<float>;
+
+}  // namespace xflow::graph

@@ -1,11 +1,15 @@
 #include "tensor/einsum.hpp"
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/strings.hpp"
 #include "common/threadpool.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/memstats.hpp"
 
 namespace xflow {
 
@@ -49,6 +53,66 @@ std::int64_t GroupSize(const std::string& group, const Shape& shape) {
   std::int64_t total = 1;
   for (char d : group) total *= shape.has(d) ? shape.extent(d) : 1;
   return total;
+}
+
+/// The nine offset tables one (spec, operand shapes, output shape)
+/// combination needs, built once and cached: transformer layers run the
+/// same handful of contractions every step, and a steady-state step must
+/// not rebuild its tables (the executor's allocation-free contract --
+/// cache misses are metered via memstats::einsum_table_builds).
+struct EinsumTables {
+  std::vector<std::int64_t> a_batch, b_batch, c_batch;
+  std::vector<std::int64_t> a_m, c_m;
+  std::vector<std::int64_t> b_n, c_n;
+  std::vector<std::int64_t> a_k, b_k;
+};
+
+void AppendShapeSig(const Shape& s, std::string& key) {
+  for (const auto& d : s.dims()) {
+    key += d.name;
+    key += std::to_string(d.extent);
+    key += '.';
+  }
+  key += '|';
+}
+
+const EinsumTables& CachedTables(const EinsumSpec& spec, const Shape& a,
+                                 const Shape& b, const Shape& c) {
+  // Dense tensors derive their strides from the shape, so (spec, shapes)
+  // fully determines every table. The cache is tiny in practice (one
+  // entry per distinct contraction site per model configuration) and
+  // never evicts; map nodes keep returned references stable.
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<EinsumTables>> cache;
+  std::string key;
+  key.reserve(64);
+  key += spec.a;
+  key += ',';
+  key += spec.b;
+  key += '>';
+  key += spec.out;
+  key += '|';
+  AppendShapeSig(a, key);
+  AppendShapeSig(b, key);
+  AppendShapeSig(c, key);
+
+  const std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto tables = std::make_unique<EinsumTables>();
+    tables->a_batch = OffsetTable(spec.batch_dims, a, a);
+    tables->b_batch = OffsetTable(spec.batch_dims, a, b);
+    tables->c_batch = OffsetTable(spec.batch_dims, a, c);
+    tables->a_m = OffsetTable(spec.m_dims, a, a);
+    tables->c_m = OffsetTable(spec.m_dims, a, c);
+    tables->b_n = OffsetTable(spec.n_dims, b, b);
+    tables->c_n = OffsetTable(spec.n_dims, b, c);
+    tables->a_k = OffsetTable(spec.k_dims, a, a);
+    tables->b_k = OffsetTable(spec.k_dims, a, b);
+    memstats::RecordEinsumTableBuild();
+    it = cache.emplace(std::move(key), std::move(tables)).first;
+  }
+  return *it->second;
 }
 
 }  // namespace
@@ -122,15 +186,17 @@ void EinsumInto(const EinsumSpec& spec, const Tensor<T>& a, const Tensor<T>& b,
   require(out.shape().names().size() == spec.out.size(),
           "output tensor rank must match spec");
 
-  const auto a_batch = OffsetTable(spec.batch_dims, a.shape(), a.shape());
-  const auto b_batch = OffsetTable(spec.batch_dims, a.shape(), b.shape());
-  const auto c_batch = OffsetTable(spec.batch_dims, a.shape(), out.shape());
-  const auto a_m = OffsetTable(spec.m_dims, a.shape(), a.shape());
-  const auto c_m = OffsetTable(spec.m_dims, a.shape(), out.shape());
-  const auto b_n = OffsetTable(spec.n_dims, b.shape(), b.shape());
-  const auto c_n = OffsetTable(spec.n_dims, b.shape(), out.shape());
-  const auto a_k = OffsetTable(spec.k_dims, a.shape(), a.shape());
-  const auto b_k = OffsetTable(spec.k_dims, a.shape(), b.shape());
+  const EinsumTables& t = CachedTables(spec, a.shape(), b.shape(),
+                                       out.shape());
+  const auto& a_batch = t.a_batch;
+  const auto& b_batch = t.b_batch;
+  const auto& c_batch = t.c_batch;
+  const auto& a_m = t.a_m;
+  const auto& c_m = t.c_m;
+  const auto& b_n = t.b_n;
+  const auto& c_n = t.c_n;
+  const auto& a_k = t.a_k;
+  const auto& b_k = t.b_k;
 
   // Batched GEMMs write disjoint output slices, so they can run on the
   // pool directly; but when each GEMM has enough macro-tiles to cover the

@@ -56,12 +56,12 @@ template <typename T>
 LayerArenaT<T> MakeMhaArena(const MhaConfig& config) {
   graph::PlanOptions options;
   options.default_elem_bytes = sizeof(T);
-  // The MHA graph is forward-only; everything MhaActivationsT saves must
-  // survive the whole step for the (out-of-graph) backward pass. Only the
-  // projection and pre-bias temporaries fold away.
-  options.keep_live = {"qq_b",      "kk_b",          "vv_b", "alpha",
-                       "attn_mask", "softmax_saved", "gamma", "out"};
-  const auto graph = graph::BuildMhaForward(config.dims);
+  // The full forward+backward graph is modeled, so saved activations live
+  // exactly until the backward op that consumes them and the backward
+  // temporaries (d_gamma, d_beta, ...) share recycled bytes. Backward
+  // takes d_out by reference; it never lives in the arena.
+  options.exclude = {"d_out"};
+  const auto graph = graph::BuildMha(config.dims, /*include_backward=*/true);
   return LayerArenaT<T>(graph, std::move(options));
 }
 

@@ -85,8 +85,8 @@ graph::PlanOptions EncoderPlanOptions();
 template <typename T>
 LayerArenaT<T> MakeEncoderArena(const EncoderConfig& config);
 
-/// Arena for one MhaLayerT's forward pass (Fig. 1 graph; MHA backward has
-/// no modeled graph yet and reuses owning buffers instead).
+/// Arena for one MhaLayerT step (Fig. 1 graph, forward + backward): bind
+/// both MhaActivationsT::arena and MhaGradientsT::arena to it.
 template <typename T>
 LayerArenaT<T> MakeMhaArena(const MhaConfig& config);
 

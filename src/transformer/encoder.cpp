@@ -1,8 +1,12 @@
 #include "transformer/encoder.hpp"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "common/rng.hpp"
+#include "graph/executor.hpp"
 #include "ops/elementwise.hpp"
 #include "ops/fused.hpp"
 #include "ops/layernorm.hpp"
@@ -58,6 +62,19 @@ const EncoderSpecs& S() {
 }
 
 }  // namespace
+
+bool GraphExecutorDefault() {
+  static const bool value = [] {
+    const char* env = std::getenv("XFLOW_GRAPH_EXEC");
+    if (env == nullptr || *env == '\0') return false;
+    std::string v(env);
+    for (char& c : v) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return v != "0" && v != "false" && v != "off" && v != "no";
+  }();
+  return value;
+}
 
 template <typename T>
 EncoderParamsT<T> EncoderParamsT<T>::Init(const graph::ModelDims& d,
@@ -119,8 +136,122 @@ EncoderLayerT<T>::EncoderLayerT(EncoderConfig config, EncoderParamsT<T> params)
     : config_(std::move(config)), params_(std::move(params)) {}
 
 template <typename T>
+EncoderLayerT<T>::EncoderLayerT(EncoderLayerT&&) noexcept = default;
+template <typename T>
+EncoderLayerT<T>& EncoderLayerT<T>::operator=(EncoderLayerT&&) noexcept =
+    default;
+template <typename T>
+EncoderLayerT<T>::~EncoderLayerT() = default;
+
+template <typename T>
+graph::GraphExecutorT<T>& EncoderLayerT<T>::Executor(
+    LayerArenaT<T>& arena) const {
+  if (executor_ == nullptr || executor_arena_ != &arena ||
+      executor_slab_ != arena.workspace().data()) {
+    const auto& d = config_.dims;
+    graph::ExecutorOptions opts;
+    opts.use_fused_kernels = config_.use_fused_kernels;
+    opts.causal = config_.causal;
+    opts.dropout_prob = config_.dropout_prob;
+    opts.ln_eps = config_.ln_eps;
+    opts.attn_scale = 1.0f / std::sqrt(static_cast<float>(d.p));
+    // Per-site Philox streams, in dropout-op graph order: SM's attention
+    // dropout, the attention-output dropout, the two feed-forward ones.
+    opts.dropout_seeds = {SiteSeed(config_.seed, kAttnSoftmax),
+                          SiteSeed(config_.seed, kAttnOutput),
+                          SiteSeed(config_.seed, kFeedForward),
+                          SiteSeed(config_.seed, kOutput)};
+    opts.stacked = EncoderPlanOptions<T>().groups;
+    executor_ = std::make_unique<graph::GraphExecutorT<T>>(
+        graph::BuildEncoder(d, graph::AlgebraicFusion::kQKV,
+                            /*include_backward=*/true),
+        &arena.plan(), &arena.workspace(), std::move(opts));
+    executor_arena_ = &arena;
+    executor_slab_ = arena.workspace().data();
+    // Weights are stable across steps: bind them once per executor.
+    auto& self = const_cast<EncoderLayerT<T>&>(*this);
+    for (auto& [name, tensor] : self.params_.Named()) {
+      executor_->BindInput(name, *tensor);
+    }
+  }
+  return *executor_;
+}
+
+template <typename T>
+void EncoderLayerT<T>::ExecutorForward(const Tensor<T>& x,
+                                       EncoderActivationsT<T>& acts) const {
+  const auto& d = config_.dims;
+  auto& ex = Executor(*acts.arena);
+  ex.BindInput("x", x);
+  ex.Forward();
+  // Expose the saved activations as arena views under the same dim names
+  // the hand-wired path uses (the j->k / p->w renames of the paper).
+  LayerArenaT<T>* ar = acts.arena;
+  const Shape ibj("ibj", {d.i, d.b, d.j});
+  // The executor reads the caller's x by reference, but acts.x is still
+  // populated (the plan pins a slot for it) so a hand-wired Backward on
+  // an owning gradients struct keeps working after an executor Forward.
+  acts.x = ar->template ViewAs<T>("x", x.shape());
+  CopyValuesInto(x, acts.x);
+  const Shape ubj("ubj", {d.u, d.b, d.j});
+  const Shape hbjk("hbjk", {d.h, d.b, d.j, d.k});
+  const Shape bj("bj", {d.b, d.j});
+  acts.qq_b = ar->template ViewAs<T>("qq_b",
+                                     Shape("phbj", {d.p, d.h, d.b, d.j}));
+  acts.kk_b = ar->template ViewAs<T>("kk_b",
+                                     Shape("phbk", {d.p, d.h, d.b, d.k}));
+  acts.vv_b = ar->template ViewAs<T>("vv_b",
+                                     Shape("whbk", {d.p, d.h, d.b, d.k}));
+  acts.alpha = ar->template ViewAs<T>("alpha", hbjk);
+  acts.attn_mask = ar->template ViewAs<T>("attn_mask", hbjk);
+  acts.softmax_saved = ar->template ViewAs<T>("softmax_saved", hbjk);
+  acts.gamma_t = ar->template ViewAs<T>("gamma_t",
+                                        Shape("whbj", {d.p, d.h, d.b, d.j}));
+  acts.attn_drop_mask = ar->template ViewAs<T>("attn_drop_mask", ibj);
+  acts.resid1 = ar->template ViewAs<T>("resid1", ibj);
+  acts.ln1_mean = ar->template ViewAs<float>("ln1_mean", bj);
+  acts.ln1_rstd = ar->template ViewAs<float>("ln1_rstd", bj);
+  acts.ln1_out = ar->template ViewAs<T>("ln1_out", ibj);
+  acts.relu1 = ar->template ViewAs<T>("relu1", ubj);
+  acts.ff_dropped = ar->template ViewAs<T>("ff_dropped", ubj);
+  acts.ff_drop_mask = ar->template ViewAs<T>("ff_drop_mask", ubj);
+  acts.lin2_drop_mask = ar->template ViewAs<T>("lin2_drop_mask", ibj);
+  acts.resid2 = ar->template ViewAs<T>("resid2", ibj);
+  acts.ln2_mean = ar->template ViewAs<float>("ln2_mean", bj);
+  acts.ln2_rstd = ar->template ViewAs<float>("ln2_rstd", bj);
+  acts.y = ar->template ViewAs<T>("y", ibj);
+}
+
+template <typename T>
+void EncoderLayerT<T>::ExecutorBackward(const Tensor<T>& d_y,
+                                        const EncoderActivationsT<T>& /*acts*/,
+                                        EncoderGradientsT<T>& grads) const {
+  // The activations already live at their planned offsets in the arena
+  // the executor is bound to; only d_y and the weight-gradient
+  // accumulators need (re)binding.
+  const auto& d = config_.dims;
+  auto& gp = grads.params;
+  gp.EnsureShapes(d);  // accumulators; the executor overwrites every entry
+  require(executor_ != nullptr && grads.arena == executor_arena_,
+          "executor Backward needs the arena ExecutorForward ran on (bind "
+          "acts and grads to the same arena)");
+  auto& ex = Executor(*grads.arena);
+  ex.BindInput("d_y", d_y);
+  for (auto& [name, tensor] : gp.Named()) {
+    ex.BindOutput("d_" + name, *tensor);
+  }
+  ex.Backward();
+  grads.d_x =
+      grads.arena->template ViewAs<T>("d_x", Shape("ibj", {d.i, d.b, d.j}));
+}
+
+template <typename T>
 const Tensor<T>& EncoderLayerT<T>::Forward(const Tensor<T>& x,
                                            EncoderActivationsT<T>& acts) const {
+  if (config_.use_graph_executor && acts.arena != nullptr) {
+    ExecutorForward(x, acts);
+    return acts.y;
+  }
   const auto& d = config_.dims;
   const float attn_scale = 1.0f / std::sqrt(static_cast<float>(d.p));
   const DropoutMask attn_sm_mask(SiteSeed(config_.seed, kAttnSoftmax),
@@ -274,6 +405,10 @@ template <typename T>
 void EncoderLayerT<T>::Backward(const Tensor<T>& d_y,
                                 const EncoderActivationsT<T>& acts,
                                 EncoderGradientsT<T>& grads) const {
+  if (config_.use_graph_executor && grads.arena != nullptr) {
+    ExecutorBackward(d_y, acts, grads);
+    return;
+  }
   const auto& d = config_.dims;
   const float attn_scale = 1.0f / std::sqrt(static_cast<float>(d.p));
   const float keep = 1.0f - config_.dropout_prob;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,10 +13,20 @@
 #include "graph/builder.hpp"
 #include "tensor/tensor.hpp"
 
+namespace xflow::graph {
+template <typename T>
+class GraphExecutorT;  // graph/executor.hpp
+}  // namespace xflow::graph
+
 namespace xflow::transformer {
 
 template <typename T>
 class LayerArenaT;  // transformer/arena.hpp
+
+/// Default for EncoderConfig::use_graph_executor: the XFLOW_GRAPH_EXEC
+/// environment variable (1/true/on/yes, case-insensitive) when set,
+/// false otherwise. Read once per process.
+bool GraphExecutorDefault();
 
 struct EncoderConfig {
   graph::ModelDims dims = graph::ModelDims::Tiny();
@@ -27,6 +38,13 @@ struct EncoderConfig {
   /// decoder block (the paper notes decoders differ only in such minor
   /// aspects, Sec. VIII).
   bool causal = false;
+  /// Execute through the graph-level executor (graph/executor.hpp)
+  /// instead of the hand-wired kernel sequence whenever an arena is
+  /// bound: the planned dataflow graph itself is walked, with every
+  /// container resolved to its planned slab offset. Bitwise identical to
+  /// the hand-wired path. Without a bound arena the layer falls back to
+  /// hand-wired execution (the executor requires a plan to bind to).
+  bool use_graph_executor = GraphExecutorDefault();
 };
 
 /// Layer parameters. Dimension names follow the paper; the Q/K/V projection
@@ -99,8 +117,14 @@ template <typename T>
 class EncoderLayerT {
  public:
   EncoderLayerT(EncoderConfig config, EncoderParamsT<T> params);
+  EncoderLayerT(EncoderLayerT&&) noexcept;
+  EncoderLayerT& operator=(EncoderLayerT&&) noexcept;
+  ~EncoderLayerT();
 
   /// Runs forward propagation; fills `acts` and returns acts.y.
+  /// With `use_graph_executor` and a bound arena, the input `x` is bound
+  /// into the executor by reference and must stay valid (and unmoved)
+  /// until the matching Backward has run.
   const Tensor<T>& Forward(const Tensor<T>& x,
                            EncoderActivationsT<T>& acts) const;
 
@@ -113,8 +137,25 @@ class EncoderLayerT {
   [[nodiscard]] const EncoderParamsT<T>& params() const { return params_; }
 
  private:
+  /// The cached graph executor bound to `arena` (rebuilt when the bound
+  /// arena changes; reused allocation-free across steady-state steps).
+  graph::GraphExecutorT<T>& Executor(LayerArenaT<T>& arena) const;
+  void ExecutorForward(const Tensor<T>& x, EncoderActivationsT<T>& acts) const;
+  void ExecutorBackward(const Tensor<T>& d_y,
+                        const EncoderActivationsT<T>& acts,
+                        EncoderGradientsT<T>& grads) const;
+
   EncoderConfig config_;
   EncoderParamsT<T> params_;
+  // Lazily built on the first executor-backed call; mutable because the
+  // executor is a cache of the (const) layer + arena pair. The cache key
+  // is the arena address *and* its slab address: a new arena reusing a
+  // freed arena's address must not revive an executor whose views point
+  // into the old slab. (Like the rest of the layer API, concurrent calls
+  // on one layer instance are not supported.)
+  mutable std::unique_ptr<graph::GraphExecutorT<T>> executor_;
+  mutable const LayerArenaT<T>* executor_arena_ = nullptr;
+  mutable const void* executor_slab_ = nullptr;
 };
 
 using EncoderParams = EncoderParamsT<Half>;

@@ -169,38 +169,43 @@ void MhaLayerT<T>::Backward(const Tensor<T>& d_out,
   auto& gp = grads.params;
   gp.EnsureShapes(d);  // accumulators; every entry is overwritten below
 
-  // Backward temporaries reuse owning buffers across steps (the MHA
-  // backward graph is not modeled yet, so there is no plan to bind).
+  // Backward temporaries come from the bound arena (the backward graph is
+  // planned too) or from owning buffers; weight gradients stay owning.
+  LayerArenaT<T>* ar = grads.arena;
+  auto tmp = [ar](const char* name, const Shape& shape) -> Tensor<T> {
+    return AcquireTemp(ar, name, shape);
+  };
+
   // Output bias and projection.
   ops::BiasBackwardDW(d_out, gp.bo);
-  Tensor<T> d_gamma(Shape("whbj", {d.p, d.h, d.b, d.j}));
+  Tensor<T> d_gamma = tmp("d_gamma", Shape("whbj", {d.p, d.h, d.b, d.j}));
   EinsumInto(S().out_dx, params_.wo, d_out, d_gamma);
   EinsumInto(S().out_dw, d_out, acts.gamma_t, gp.wo);
 
   // gamma backward.
-  Tensor<T> d_alpha(hbjk);
+  Tensor<T> d_alpha = tmp("d_alpha", hbjk);
   EinsumInto(S().gamma_dx1, acts.vv_b, d_gamma, d_alpha);
-  Tensor<T> d_vv(Shape("whbk", {d.p, d.h, d.b, d.k}));
+  Tensor<T> d_vv = tmp("d_vv", Shape("whbk", {d.p, d.h, d.b, d.k}));
   EinsumInto(S().gamma_dx2, d_gamma, acts.alpha, d_vv);
 
   // BS: dropout + softmax + scale.
-  Tensor<T> d_beta(hbjk);
+  Tensor<T> d_beta = tmp("d_beta", hbjk);
   ops::ScaledSoftmaxBackwardDX(d_alpha, acts.attn_mask, acts.softmax_saved,
                                'k', scale, keep_scale, d_beta);
 
   // QKT backward.
-  Tensor<T> d_kk(Shape("phbk", {d.p, d.h, d.b, d.k}));
+  Tensor<T> d_kk = tmp("d_kk", Shape("phbk", {d.p, d.h, d.b, d.k}));
   EinsumInto(S().qkt_dx1, acts.qq_b, d_beta, d_kk);
-  Tensor<T> d_qq(Shape("phbj", {d.p, d.h, d.b, d.j}));
+  Tensor<T> d_qq = tmp("d_qq", Shape("phbj", {d.p, d.h, d.b, d.j}));
   EinsumInto(S().qkt_dx2, d_beta, acts.kk_b, d_qq);
 
   // Projection biases, weights, and input gradients.
   ops::BiasBackwardDW(d_qq, gp.bq);
   ops::BiasBackwardDW(d_kk, gp.bk);
   ops::BiasBackwardDW(d_vv, gp.bv);
-  grads.d_q.EnsureShape(Shape("ibj", {d.i, d.b, d.j}));
-  grads.d_k.EnsureShape(ibk);
-  grads.d_v.EnsureShape(ibk);
+  BindSlot(ar, grads.d_q, "d_q", Shape("ibj", {d.i, d.b, d.j}));
+  BindSlot(ar, grads.d_k, "d_k", ibk);
+  BindSlot(ar, grads.d_v, "d_v", ibk);
   EinsumInto(S().q_dx, params_.wq, d_qq, grads.d_q);
   EinsumInto(S().k_dx, params_.wk, d_kk, grads.d_k);
   EinsumInto(S().v_dx, params_.wv, d_vv, grads.d_v);

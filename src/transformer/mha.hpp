@@ -65,6 +65,12 @@ template <typename T>
 struct MhaGradientsT {
   MhaParamsT<T> params;
   Tensor<T> d_q, d_k, d_v;
+
+  /// When set, Backward acquires every d_* temporary and the input
+  /// gradients from this arena (the same MakeMhaArena instance bound to
+  /// the activations); weight gradients stay owning. Values are bitwise
+  /// identical to the owning mode.
+  LayerArenaT<T>* arena = nullptr;
 };
 
 template <typename T>

@@ -214,5 +214,40 @@ TEST(MemoryPlan, MhaForwardGraphPlans) {
   EXPECT_LT(plan.peak_bytes(), plan.naive_bytes());
 }
 
+TEST(MemoryPlan, MhaBackwardGraphIsModeledAndPlanned) {
+  // The full MHA graph covers the backward pass: saved activations live
+  // exactly until the backward op that consumes them (instead of being
+  // pinned for the step), and the backward temporaries are planned too.
+  const auto g = BuildMha(ModelDims::Tiny(), /*include_backward=*/true);
+  for (const char* op : {"bias out dW", "out dX", "out dW", "gamma dX1",
+                         "gamma dX2", "scaled softmax dX", "QKT dX1",
+                         "QKT dX2", "Q dX", "Q dW"}) {
+    EXPECT_GE(OpIndex(g, op), 0);
+  }
+  PlanOptions opts;
+  opts.default_elem_bytes = sizeof(Half);
+  opts.exclude = {"d_out"};  // caller-passed gradient, never staged
+  const auto plan = PlanMemory(g, opts);
+  EXPECT_EQ(plan.at("softmax_saved").last_use,
+            OpIndex(g, "scaled softmax dX"));
+  EXPECT_EQ(plan.at("alpha").last_use, OpIndex(g, "gamma dX2"));
+  EXPECT_EQ(plan.at("kk_b").last_use, OpIndex(g, "QKT dX2"));
+  EXPECT_TRUE(plan.Contains("d_beta"));
+  EXPECT_EQ(plan.at("d_beta").last_use, OpIndex(g, "QKT dX2"));
+  EXPECT_FALSE(plan.Contains("d_out"));
+  EXPECT_FALSE(plan.Contains("d_wq"));  // weight gradients stay external
+
+  // Planning the whole step beats the forward-only plan's pinning: the
+  // full-graph peak is below forward-peak + separate backward buffers,
+  // and the reduction is strictly better than the forward-only one.
+  PlanOptions fwd_opts;
+  fwd_opts.default_elem_bytes = sizeof(Half);
+  fwd_opts.keep_live = {"qq_b",      "kk_b",          "vv_b", "alpha",
+                        "attn_mask", "softmax_saved", "gamma", "out"};
+  const auto fwd_plan =
+      PlanMemory(BuildMhaForward(ModelDims::Tiny()), fwd_opts);
+  EXPECT_GT(plan.Reduction(), fwd_plan.Reduction());
+}
+
 }  // namespace
 }  // namespace xflow::graph

@@ -117,6 +117,7 @@ TEST(PlannedExecution, MhaForwardAndBackwardMatchOwning) {
 
       auto d_out = TensorH::Random(Shape("ibj", {d.i, d.b, d.j}), 21);
       MhaGradientsT<Half> own_grads, plan_grads;
+      plan_grads.arena = &arena;  // backward is planned too (full graph)
       layer.Backward(d_out, own_acts, own_grads);
       layer.Backward(d_out, plan_acts, plan_grads);
       EXPECT_EQ(MaxAbsDiff(own_grads.d_q, plan_grads.d_q), 0.0);
@@ -198,6 +199,8 @@ TEST(PlannedExecution, SteadyStateTrainStepIsAllocationFree) {
       << "steady-state step allocated "
       << after.tensor_bytes - before.tensor_bytes << " tensor bytes";
   EXPECT_EQ(after.workspace_allocs, before.workspace_allocs);
+  EXPECT_EQ(after.einsum_table_builds, before.einsum_table_builds)
+      << "steady-state step rebuilt einsum offset tables";
   EXPECT_LT(loss, warm_loss);  // and it still trains
 }
 

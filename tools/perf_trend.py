@@ -10,8 +10,11 @@ Compares ns_per_iter per benchmark name and prints a trend table. Rows
 outside the tolerance band are reported as GitHub Actions `::warning::`
 annotations (warn-only: shared CI runners are far too noisy for a hard
 gate; the committed baseline is regenerated deliberately, in the PR that
-changes performance). The exit code is nonzero only for structural
-problems -- missing files or unparsable JSON -- never for slow rows.
+changes performance). The exit code is nonzero for *structural* problems:
+missing or unparsable files, malformed or empty entry lists, and baseline
+benchmarks that were not measured at all (a benchmark that disappears
+from the bench binary must be removed from the baseline deliberately,
+not silently skipped). Slow rows never fail the run.
 """
 
 import argparse
@@ -19,42 +22,47 @@ import json
 import sys
 
 
+class StructuralError(Exception):
+    """A problem with the inputs themselves (not a perf regression)."""
+
+
 def load(path):
+    """Parses a bench JSON file into {name: ns_per_iter}.
+
+    Raises StructuralError on unreadable files, non-list payloads, empty
+    payloads, and malformed rows -- every entry must carry a string name
+    and a numeric ns_per_iter.
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
             rows = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"perf_trend: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(1)
+        raise StructuralError(f"cannot read {path}: {e}") from e
+    if not isinstance(rows, list):
+        raise StructuralError(f"{path}: expected a JSON list of benchmark "
+                              f"rows, got {type(rows).__name__}")
+    if not rows:
+        raise StructuralError(f"{path}: no benchmark entries")
     out = {}
     for row in rows:
         try:
-            out[row["name"]] = float(row["ns_per_iter"])
+            name = row["name"]
+            if not isinstance(name, str):
+                raise TypeError("name must be a string")
+            out[name] = float(row["ns_per_iter"])
         except (KeyError, TypeError, ValueError) as e:
-            print(f"perf_trend: malformed row in {path}: {row!r} ({e})",
-                  file=sys.stderr)
-            sys.exit(1)
+            raise StructuralError(
+                f"malformed row in {path}: {row!r} ({e})") from e
     return out
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True,
-                    help="committed baseline JSON (BENCH_ops.json)")
-    ap.add_argument("--current", required=True,
-                    help="freshly generated JSON from --json")
-    ap.add_argument("--tolerance", type=float, default=0.35,
-                    help="allowed fractional slowdown before warning "
-                         "(default 0.35 = 35%%)")
-    args = ap.parse_args()
-
-    base = load(args.baseline)
-    cur = load(args.current)
-
+def compare(base, cur, tolerance):
+    """Prints the trend table; returns (warnings, structural_errors)."""
     width = max((len(n) for n in base | cur), default=4)
     print(f"{'benchmark':<{width}}  {'baseline ns':>14}  {'current ns':>14}"
           f"  {'ratio':>7}")
     warnings = 0
+    errors = 0
     for name in sorted(base | cur):
         b, c = base.get(name), cur.get(name)
         if b is None:
@@ -65,21 +73,44 @@ def main():
             continue
         if c is None:
             print(f"{name:<{width}}  {b:>14.0f}  {'--':>14}  missing")
-            print(f"::warning::perf-trend: {name} is in the baseline but "
-                  f"was not measured")
-            warnings += 1
+            print(f"::error::perf-trend: {name} is in the baseline but was "
+                  f"not measured; remove it from BENCH_ops.json if it was "
+                  f"retired deliberately")
+            errors += 1
             continue
         ratio = c / b if b > 0 else float("inf")
         flag = ""
-        if ratio > 1.0 + args.tolerance:
+        if ratio > 1.0 + tolerance:
             flag = "  SLOWER"
             print(f"::warning::perf-trend: {name} is {ratio:.2f}x the "
                   f"baseline ({b:.0f} -> {c:.0f} ns/iter)")
             warnings += 1
         print(f"{name:<{width}}  {b:>14.0f}  {c:>14.0f}  {ratio:>7.2f}{flag}")
-    print(f"perf_trend: {warnings} warning(s), tolerance "
-          f"+{args.tolerance:.0%} (warn-only)")
-    return 0
+    print(f"perf_trend: {warnings} warning(s), {errors} structural "
+          f"error(s), tolerance +{tolerance:.0%} (slow rows warn-only)")
+    return warnings, errors
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (BENCH_ops.json)")
+    ap.add_argument("--current", required=True,
+                    help="freshly generated JSON from --json")
+    ap.add_argument("--tolerance", type=float, default=0.35,
+                    help="allowed fractional slowdown before warning "
+                         "(default 0.35 = 35%%)")
+    args = ap.parse_args(argv)
+
+    try:
+        base = load(args.baseline)
+        cur = load(args.current)
+    except StructuralError as e:
+        print(f"perf_trend: {e}", file=sys.stderr)
+        return 1
+
+    _, errors = compare(base, cur, args.tolerance)
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

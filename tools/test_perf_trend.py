@@ -1,0 +1,130 @@
+"""Tests for tools/perf_trend.py (run via pytest or unittest).
+
+Covers the CI contract: perf regressions and new benchmarks warn but pass
+(warn-only perf gate), while structural problems -- malformed entries,
+empty files, baseline benchmarks that were not measured -- exit nonzero.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import perf_trend  # noqa: E402
+
+
+def write_json(directory, name, payload, raw=None):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        if raw is not None:
+            f.write(raw)
+        else:
+            json.dump(payload, f)
+    return path
+
+
+def rows(**named):
+    return [{"name": n, "ns_per_iter": v} for n, v in named.items()]
+
+
+class PerfTrendTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def run_main(self, base_rows, cur_rows, tolerance=0.35):
+        base = write_json(self.dir, "base.json", base_rows)
+        cur = write_json(self.dir, "cur.json", cur_rows)
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = perf_trend.main(["--baseline", base, "--current", cur,
+                                    "--tolerance", str(tolerance)])
+        return code, out.getvalue()
+
+    def test_improvement_passes_without_warning(self):
+        code, out = self.run_main(rows(gemm=100.0), rows(gemm=50.0))
+        self.assertEqual(code, 0)
+        self.assertNotIn("::warning::", out)
+        self.assertNotIn("::error::", out)
+
+    def test_within_tolerance_passes(self):
+        code, out = self.run_main(rows(gemm=100.0), rows(gemm=120.0))
+        self.assertEqual(code, 0)
+        self.assertNotIn("::warning::", out)
+
+    def test_regression_warns_but_passes(self):
+        # Perf is warn-only: shared runners are too noisy for a hard gate.
+        code, out = self.run_main(rows(gemm=100.0), rows(gemm=200.0))
+        self.assertEqual(code, 0)
+        self.assertIn("::warning::", out)
+        self.assertIn("SLOWER", out)
+
+    def test_new_benchmark_warns_but_passes(self):
+        code, out = self.run_main(rows(gemm=100.0),
+                                  rows(gemm=100.0, softmax=10.0))
+        self.assertEqual(code, 0)
+        self.assertIn("not in the committed baseline", out)
+
+    def test_missing_benchmark_fails(self):
+        # A baseline benchmark that was not measured is structural: the
+        # bench binary silently dropped a case.
+        code, out = self.run_main(rows(gemm=100.0, softmax=10.0),
+                                  rows(gemm=100.0))
+        self.assertEqual(code, 1)
+        self.assertIn("::error::", out)
+        self.assertIn("was not measured", out)
+
+    def test_malformed_row_fails(self):
+        code, _ = self.run_main(rows(gemm=100.0),
+                                [{"name": "gemm"}])  # no ns_per_iter
+        self.assertEqual(code, 1)
+
+    def test_non_numeric_time_fails(self):
+        code, _ = self.run_main(
+            rows(gemm=100.0), [{"name": "gemm", "ns_per_iter": "fast"}])
+        self.assertEqual(code, 1)
+
+    def test_empty_baseline_fails(self):
+        code, _ = self.run_main([], rows(gemm=100.0))
+        self.assertEqual(code, 1)
+
+    def test_non_list_payload_fails(self):
+        base = write_json(self.dir, "base.json", rows(gemm=100.0))
+        cur = write_json(self.dir, "cur.json", None,
+                         raw='{"gemm": 100.0}')
+        code = perf_trend.main(["--baseline", base, "--current", cur])
+        self.assertEqual(code, 1)
+
+    def test_unparsable_json_fails(self):
+        base = write_json(self.dir, "base.json", rows(gemm=100.0))
+        cur = write_json(self.dir, "cur.json", None, raw="not json")
+        code = perf_trend.main(["--baseline", base, "--current", cur])
+        self.assertEqual(code, 1)
+
+    def test_missing_file_fails(self):
+        base = write_json(self.dir, "base.json", rows(gemm=100.0))
+        code = perf_trend.main(
+            ["--baseline", base,
+             "--current", os.path.join(self.dir, "absent.json")])
+        self.assertEqual(code, 1)
+
+    def test_committed_baseline_is_loadable(self):
+        # The baseline shipped in the repo must itself satisfy the
+        # structural contract this tool enforces.
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        baseline = os.path.join(repo_root, "BENCH_ops.json")
+        loaded = perf_trend.load(baseline)
+        self.assertGreater(len(loaded), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
