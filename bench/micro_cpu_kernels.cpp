@@ -20,6 +20,7 @@
 #include "common/threadpool.hpp"
 #include "graph/builder.hpp"
 #include "graph/memory_plan.hpp"
+#include "graph/verify.hpp"
 #include "ops/elementwise.hpp"
 #include "ops/fused.hpp"
 #include "ops/layernorm.hpp"
@@ -246,6 +247,26 @@ void BM_MemoryPlanner(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(naive) / 1048576.0);
 }
 BENCHMARK(BM_MemoryPlanner);
+
+void BM_GraphVerify(benchmark::State& state) {
+  // Full three-arg verification (graph + plan + options) of the
+  // BERT-base encoder: the executor's pre-flight runs this, so it has
+  // to stay cheap enough to leave on in every Debug/test run (<1ms).
+  const auto g = xflow::graph::BuildEncoder(
+      xflow::graph::ModelDims::BertBase(),
+      xflow::graph::AlgebraicFusion::kQKV, /*include_backward=*/true);
+  const auto opts = xflow::transformer::EncoderPlanOptions<Half>();
+  const auto plan = xflow::graph::PlanMemory(g, opts);
+  for (auto _ : state) {
+    const auto report = xflow::graph::Verify(g, plan, opts);
+    if (!report.ok()) {
+      state.SkipWithError(report.Summary().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(report.issues.data());
+  }
+}
+BENCHMARK(BM_GraphVerify);
 
 void BM_EncoderStackStep(benchmark::State& state) {
   // A full steady-state train step (forward, loss, backward) on a small

@@ -1,0 +1,66 @@
+// Clang -Wthread-safety annotations plus a minimal annotated mutex.
+//
+// libstdc++'s std::mutex carries no capability attributes, so locking it
+// is invisible to Clang's thread-safety analysis. The Mutex/MutexLock
+// pair below wraps it with the attributes the analysis needs; under any
+// other compiler (or without -Wthread-safety) every macro expands to
+// nothing and the wrappers cost exactly a std::mutex.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define XFLOW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define XFLOW_THREAD_ANNOTATION(x)
+#endif
+
+// NOLINTBEGIN(bugprone-macro-parentheses): attribute arguments are
+// capability expressions and must be pasted unparenthesized.
+#define XFLOW_CAPABILITY(x) XFLOW_THREAD_ANNOTATION(capability(x))
+#define XFLOW_SCOPED_CAPABILITY XFLOW_THREAD_ANNOTATION(scoped_lockable)
+#define XFLOW_GUARDED_BY(x) XFLOW_THREAD_ANNOTATION(guarded_by(x))
+#define XFLOW_PT_GUARDED_BY(x) XFLOW_THREAD_ANNOTATION(pt_guarded_by(x))
+#define XFLOW_REQUIRES(...) \
+  XFLOW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define XFLOW_ACQUIRE(...) \
+  XFLOW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define XFLOW_RELEASE(...) \
+  XFLOW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define XFLOW_TRY_ACQUIRE(...) \
+  XFLOW_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define XFLOW_EXCLUDES(...) XFLOW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define XFLOW_NO_THREAD_SAFETY_ANALYSIS \
+  XFLOW_THREAD_ANNOTATION(no_thread_safety_analysis)
+// NOLINTEND(bugprone-macro-parentheses)
+
+namespace xflow {
+
+/// std::mutex with capability attributes. BasicLockable, so
+/// std::condition_variable_any can wait on it directly (the analysis does
+/// not model the wait's release/reacquire, which is exactly right: the
+/// capability is held across the wait from the caller's point of view).
+class XFLOW_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() XFLOW_ACQUIRE() { mu_.lock(); }
+  void unlock() XFLOW_RELEASE() { mu_.unlock(); }
+  bool try_lock() XFLOW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock of a Mutex (std::lock_guard is as unannotated as
+/// std::mutex).
+class XFLOW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XFLOW_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() XFLOW_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace xflow

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <iterator>
+#include <stdexcept>
 #include <utility>
 
 #include "common/error.hpp"
@@ -260,6 +262,8 @@ void GraphExecutorT<T>::BindInput(const std::string& name,
   bound_.insert_or_assign(
       name, Tensor<T>::FromSpan(tensor.shape(), const_cast<T*>(tensor.data())));
   writable_[name] = false;
+  forward_preflight_pending_ = true;
+  backward_preflight_pending_ = true;
 }
 
 template <typename T>
@@ -272,6 +276,8 @@ void GraphExecutorT<T>::BindOutput(const std::string& name, Tensor<T>& tensor) {
   bound_.insert_or_assign(name,
                           Tensor<T>::FromSpan(tensor.shape(), tensor.data()));
   writable_[name] = true;
+  forward_preflight_pending_ = true;
+  backward_preflight_pending_ = true;
 }
 
 template <typename T>
@@ -309,19 +315,99 @@ TensorF& GraphExecutorT<T>::StatView(const std::string& name) {
 }
 
 template <typename T>
+VerifyReport GraphExecutorT<T>::VerifyBindings() const {
+  return VerifyBindingsInRange(0, static_cast<int>(graph_.ops().size()),
+                               /*warn_unused=*/true);
+}
+
+template <typename T>
+VerifyReport GraphExecutorT<T>::VerifyBindingsInRange(
+    int begin_op, int end_op, bool warn_unused) const {
+  VerifyReport report;
+  // Containers the range touches, with their last writer in the range.
+  std::map<std::string, int> writer_of;
+  for (int i = begin_op; i < end_op; ++i) {
+    const OpNode& op = graph_.ops()[static_cast<std::size_t>(i)];
+    for (const auto& in : op.inputs) writer_of.try_emplace(in, -1);
+    for (const auto& out : op.outputs) writer_of[out] = i;
+  }
+  for (const auto& [name, writer] : writer_of) {
+    if (!bound_.contains(name) && !stats_.contains(name)) {
+      report.issues.push_back(VerifyIssue{
+          VerifySeverity::kError, "binding/unbound", "", name,
+          "not planned and not bound -- bind weights and graph inputs "
+          "with BindInput/BindOutput"});
+      continue;
+    }
+    const auto w = writable_.find(name);
+    if (w == writable_.end()) continue;  // planned view, always writable
+    if (writer >= 0 && !w->second) {
+      report.issues.push_back(VerifyIssue{
+          VerifySeverity::kError, "binding/read-only",
+          graph_.ops()[static_cast<std::size_t>(writer)].name, name,
+          StrFormat("written by %s but bound read-only (use BindOutput)",
+                    OpRef(graph_, writer).c_str())});
+    } else if (writer < 0 && w->second && warn_unused) {
+      report.issues.push_back(VerifyIssue{
+          VerifySeverity::kWarning, "binding/unused-writable", "", name,
+          "bound writable but no op writes it (BindInput suffices)"});
+    }
+  }
+  return report;
+}
+
+template <typename T>
+void GraphExecutorT<T>::MaybeVerify(int begin_op, int end_op, bool* pending) {
+  if (!*pending || !PreflightVerifyEnabled()) return;
+  VerifyReport report = Verify(graph_, *plan_);
+  VerifyReport bindings =
+      VerifyBindingsInRange(begin_op, end_op, /*warn_unused=*/false);
+  report.issues.insert(report.issues.end(),
+                       std::make_move_iterator(bindings.issues.begin()),
+                       std::make_move_iterator(bindings.issues.end()));
+  require(report.ok(), StrFormat("graph executor pre-flight failed: %s",
+                                 report.Summary().c_str()));
+  *pending = false;  // clean until the next rebind
+}
+
+template <typename T>
 void GraphExecutorT<T>::Forward() {
+  MaybeVerify(0, backward_begin_, &forward_preflight_pending_);
   RunRange(0, backward_begin_step_);
 }
 
 template <typename T>
 void GraphExecutorT<T>::Backward() {
+  MaybeVerify(backward_begin_, static_cast<int>(graph_.ops().size()),
+              &backward_preflight_pending_);
   RunRange(backward_begin_step_, static_cast<int>(steps_.size()));
 }
 
 template <typename T>
 void GraphExecutorT<T>::RunRange(int begin_step, int end_step) {
   for (int s = begin_step; s < end_step; ++s) {
-    Dispatch(steps_[static_cast<std::size_t>(s)]);
+    const Step& step = steps_[static_cast<std::size_t>(s)];
+    // Kernel-layer failures name the op(s) being executed, in the
+    // verifier's diagnostic form, instead of surfacing a bare index.
+    auto step_ref = [&] {
+      std::vector<std::string> refs;
+      refs.reserve(step.ops.size());
+      for (int idx : step.ops) refs.push_back(OpRef(graph_, idx));
+      return Join(refs, " + ");
+    };
+    try {
+      Dispatch(step);
+    } catch (const InvalidArgument& e) {
+      throw InvalidArgument(
+          StrFormat("%s [while executing %s]", e.what(), step_ref().c_str()));
+    } catch (const ContractViolation& e) {
+      throw ContractViolation(
+          StrFormat("%s [while executing %s]", e.what(), step_ref().c_str()));
+    } catch (const std::out_of_range& e) {
+      throw ContractViolation(
+          StrFormat("missing per-op attribute (%s) [while executing %s]",
+                    e.what(), step_ref().c_str()));
+    }
   }
 }
 

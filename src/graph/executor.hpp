@@ -35,6 +35,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/memory_plan.hpp"
+#include "graph/verify.hpp"
 #include "tensor/einsum.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/workspace.hpp"
@@ -87,6 +88,14 @@ class GraphExecutorT {
   /// Executes the backward ops: [backward_begin, num_ops).
   void Backward();
 
+  /// Binding completeness as verifier diagnostics (rules binding/unbound,
+  /// binding/read-only, binding/unused-writable): every graph container
+  /// must resolve to a planned view or a bound external, and externals an
+  /// op writes must have been bound writable. Checks the whole graph; the
+  /// pre-flight runs the same rules restricted to the pass it is about to
+  /// execute (Forward does not need the weight-gradient bindings yet).
+  [[nodiscard]] VerifyReport VerifyBindings() const;
+
   /// Index of the first backward op (== ops().size() for forward-only
   /// graphs): the boundary between Forward() and Backward().
   [[nodiscard]] int backward_begin() const { return backward_begin_; }
@@ -124,6 +133,14 @@ class GraphExecutorT {
 
   void BuildBindings();
   void BuildSchedule();
+  /// Pre-flight: when PreflightVerifyEnabled() and a bind happened since
+  /// the last successful check of this pass, re-verify (graph, plan) plus
+  /// the bindings the ops in [begin_op, end_op) touch, and throw
+  /// InvalidArgument on any error. Rebind-only re-checks are cheap (no
+  /// fusion pass in the two-arg Verify).
+  void MaybeVerify(int begin_op, int end_op, bool* pending);
+  [[nodiscard]] VerifyReport VerifyBindingsInRange(int begin_op, int end_op,
+                                                   bool warn_unused) const;
   void RunRange(int begin_step, int end_step);
   void Dispatch(const Step& step);
   void DispatchSingle(const OpNode& op, int op_index);
@@ -149,6 +166,10 @@ class GraphExecutorT {
   std::vector<Step> steps_;
   int backward_begin_ = 0;       // op index
   int backward_begin_step_ = 0;  // step index
+  // Re-verify before the next Forward/Backward (set on construction and
+  // on every rebind, cleared per pass on a clean pre-flight).
+  bool forward_preflight_pending_ = true;
+  bool backward_preflight_pending_ = true;
 };
 
 using GraphExecutor = GraphExecutorT<Half>;

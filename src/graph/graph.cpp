@@ -32,6 +32,14 @@ void DataflowGraph::AddOp(OpNode op) {
   ops_.push_back(std::move(op));
 }
 
+void DataflowGraph::AddOpUnchecked(OpNode op) {
+  for (const auto& out : op.outputs) {
+    // First writer wins, matching what AddOp would have recorded.
+    producer_.try_emplace(out, static_cast<int>(ops_.size()));
+  }
+  ops_.push_back(std::move(op));
+}
+
 bool DataflowGraph::HasTensor(const std::string& name) const {
   return tensors_.contains(name);
 }

@@ -50,6 +50,10 @@ class DataflowGraph {
   /// Adds an operator; all inputs must already exist, outputs must have been
   /// added via AddTensor, and each tensor may have at most one producer.
   void AddOp(OpNode op);
+  /// Adds an operator without AddOp's invariant checks. Exists so tests can
+  /// build deliberately-broken graphs for the verifier; never use it to
+  /// construct a graph meant to execute.
+  void AddOpUnchecked(OpNode op);
 
   [[nodiscard]] bool HasTensor(const std::string& name) const;
   [[nodiscard]] const TensorNode& tensor(const std::string& name) const;

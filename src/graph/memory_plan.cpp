@@ -49,6 +49,16 @@ std::string MemoryPlan::Summary() const {
       placements_.size(), peak_bytes_, naive_bytes_, 100.0 * Reduction());
 }
 
+MemoryPlan MemoryPlan::FromPlacements(
+    std::map<std::string, TensorPlacement> placements, std::size_t peak_bytes,
+    std::size_t naive_bytes) {
+  MemoryPlan plan;
+  plan.placements_ = std::move(placements);
+  plan.peak_bytes_ = peak_bytes;
+  plan.naive_bytes_ = naive_bytes;
+  return plan;
+}
+
 MemoryPlan PlanMemory(const DataflowGraph& graph,
                       const PlanOptions& options) {
   require(options.alignment > 0, "alignment must be positive");

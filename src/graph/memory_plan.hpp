@@ -105,6 +105,13 @@ class MemoryPlan {
 
   [[nodiscard]] std::string Summary() const;
 
+  /// Assembles a plan directly from placements, bypassing the planner.
+  /// Exists so tests can hand the verifier deliberately-corrupted plans;
+  /// never use it to construct a plan meant to execute.
+  static MemoryPlan FromPlacements(
+      std::map<std::string, TensorPlacement> placements,
+      std::size_t peak_bytes, std::size_t naive_bytes);
+
  private:
   friend MemoryPlan PlanMemory(const DataflowGraph&, const PlanOptions&);
 

@@ -34,10 +34,10 @@ class ThreadGuard {
 };
 
 bool UnderSanitizer() {
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
   return true;
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
   return true;
 #else
   return false;
