@@ -1,0 +1,49 @@
+// Non-owning callable reference: two words (object pointer + invoker),
+// no allocation, no virtual dispatch, trivially copyable.
+//
+// std::function on the ParallelFor hot path cost an allocation check and
+// a double indirection per loop launch; every call site passes a stack
+// lambda that outlives the loop, so ownership was never needed.
+// FunctionRef borrows the callable for the duration of the call -- the
+// referenced object MUST outlive every invocation (for TaskGroup::Spawn
+// that means: until the group's Wait returns).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace xflow {
+
+template <class Signature>
+class FunctionRef;  // undefined; use the R(Args...) partial specialization
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable invocable as R(Args...). Implicit on purpose so
+  /// `ParallelFor(n, g, [&](std::int64_t i) { ... })` keeps working
+  /// unchanged. The callable is borrowed, never copied.
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace xflow

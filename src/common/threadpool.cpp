@@ -7,11 +7,13 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace xflow {
@@ -19,10 +21,12 @@ namespace xflow {
 namespace {
 
 thread_local bool t_in_worker = false;
-// True on a thread currently coordinating a ParallelFor; a nested call
-// from that thread must run inline rather than republish a job on the
-// already-busy pool.
-thread_local bool t_in_parallel = false;
+// Identity of the pool (if any) whose worker this thread is, plus its
+// slot index in that pool. A worker of pool A calling into pool B must
+// use B's inbox, not A's deque, so slot lookups are always paired with a
+// pool identity check.
+thread_local const void* t_pool = nullptr;
+thread_local int t_slot = -1;
 
 int HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -51,118 +55,379 @@ int EnvThreads() {
   return static_cast<int>(v);
 }
 
-}  // namespace
+/// One queued task: a borrowed closure plus the group awaiting it.
+struct Task {
+  FunctionRef<void()> fn;
+  TaskGroup* group;
+};
 
-struct ThreadPool::Impl {
-  std::mutex run_mu;  // held by the thread coordinating the current job
-  Mutex mu;
-  // condition_variable_any waits on the annotated Mutex directly; workers
-  // wait on work_cv for a new job, ParallelFor waits on done_cv for
-  // completion.
-  std::condition_variable_any work_cv;
-  std::condition_variable_any done_cv;
-  std::vector<std::thread> workers;
-
-  // Current job, identified by a generation counter so every worker runs
-  // each job exactly once.
-  std::uint64_t generation XFLOW_GUARDED_BY(mu) = 0;
-  int workers_left XFLOW_GUARDED_BY(mu) = 0;
-  bool shutdown XFLOW_GUARDED_BY(mu) = false;
-  // fn/n/grain are written under mu before the generation bump but read
-  // lock-free by workers after they observe the new generation -- the
-  // mu release/acquire of the handshake orders the accesses. That
-  // publication protocol is beyond the static analysis, so these stay
-  // unannotated on purpose.
-  const std::function<void(std::int64_t)>* fn = nullptr;
-  std::int64_t n = 0;
-  std::int64_t grain = 1;
-  std::atomic<std::int64_t> next{0};
-
-  void RunChunks() {
-    while (true) {
-      const std::int64_t begin = next.fetch_add(grain);
-      if (begin >= n) return;
-      const std::int64_t end = std::min(begin + grain, n);
-      for (std::int64_t i = begin; i < end; ++i) (*fn)(i);
-    }
+/// Chase-lev discipline over a guarded deque: the owning worker pushes
+/// and pops at the bottom (LIFO keeps a task's freshly spawned subtasks
+/// hot in its own cache), thieves take from the top (FIFO steals the
+/// oldest -- typically largest -- piece of work). The mutex keeps the
+/// structure simple and TSan-provable; at task granularity (graph ops
+/// and loop-helper tickets, not individual indices) it is uncontended.
+class WorkDeque {
+ public:
+  void PushBottom(const Task& t) {
+    MutexLock lock(mu_);
+    q_.push_back(t);
+  }
+  bool PopBottom(Task* out) {
+    MutexLock lock(mu_);
+    if (q_.empty()) return false;
+    *out = q_.back();
+    q_.pop_back();
+    return true;
+  }
+  bool StealTop(Task* out) {
+    MutexLock lock(mu_);
+    if (q_.empty()) return false;
+    *out = q_.front();
+    q_.pop_front();
+    return true;
   }
 
-  void WorkerLoop() {
+ private:
+  Mutex mu_;
+  std::deque<Task> q_ XFLOW_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+namespace detail {
+/// Private bridge between the pool internals and TaskGroup (the pool's
+/// nested Impl cannot be named in a friend declaration from TaskGroup).
+struct TaskGroupAccess {
+  static void Run(const Task& t) noexcept {
+    if (!t.group->aborted_.load(std::memory_order_relaxed)) {
+      try {
+        t.fn();
+      } catch (...) {
+        t.group->RecordError();
+      }
+    }
+    t.group->FinishOne();
+  }
+  static ThreadPool::Impl* PoolImpl(const TaskGroup& g) {
+    return g.pool_.impl_;
+  }
+};
+}  // namespace detail
+
+struct ThreadPool::Impl {
+  int threads = 1;
+  // queues[s] belongs to worker slot s; external threads (including the
+  // application thread driving a top-level loop) share the inbox.
+  std::vector<std::unique_ptr<WorkDeque>> queues;
+  WorkDeque inbox;
+
+  // Sleep/wake handshake. `queued` counts tasks sitting in any queue;
+  // waiters re-check it under sleep_mu before blocking, and pushers
+  // bump it and then acquire/release sleep_mu before notifying, so a
+  // waiter that saw zero is guaranteed to be inside wait() by the time
+  // the notification fires.
+  Mutex sleep_mu;
+  std::condition_variable_any cv;
+  bool shutdown XFLOW_GUARDED_BY(sleep_mu) = false;
+  std::atomic<std::int64_t> queued{0};
+
+  // Live TaskGroup / ParallelFor count, for the resize-safety contract.
+  std::atomic<int> active_groups{0};
+
+  std::vector<std::thread> workers;
+
+  void Push(const Task& t) {
+    if (t_pool == this && t_slot >= 0) {
+      queues[static_cast<std::size_t>(t_slot)]->PushBottom(t);
+    } else {
+      inbox.PushBottom(t);
+    }
+    queued.fetch_add(1, std::memory_order_relaxed);
+    { MutexLock lock(sleep_mu); }  // order the push before the notify
+    cv.notify_all();
+  }
+
+  /// Own deque first (bottom), then the inbox, then the other workers'
+  /// deques (top), scanning from the next slot so thieves spread out.
+  bool TryGetWork(Task* out) {
+    const int slot = (t_pool == this) ? t_slot : -1;
+    if (slot >= 0 && queues[static_cast<std::size_t>(slot)]->PopBottom(out)) {
+      queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (slot < 0 && inbox.PopBottom(out)) {
+      queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    const int w = static_cast<int>(queues.size());
+    for (int d = 0; d < w; ++d) {
+      const int victim = (slot < 0 ? d : (slot + 1 + d) % w);
+      if (victim == slot) continue;
+      if (queues[static_cast<std::size_t>(victim)]->StealTop(out)) {
+        queued.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    if (slot >= 0 && inbox.StealTop(out)) {
+      queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  void NotifyAll() {
+    { MutexLock lock(sleep_mu); }
+    cv.notify_all();
+  }
+
+  void WorkerLoop(int slot) {
     t_in_worker = true;
-    std::uint64_t seen = 0;
-    while (true) {
-      {
-        MutexLock lock(mu);
-        while (!shutdown && generation == seen) work_cv.wait(mu);
-        if (shutdown) return;
-        seen = generation;
+    t_pool = this;
+    t_slot = slot;
+    for (;;) {
+      Task t{[] {}, nullptr};
+      if (TryGetWork(&t)) {
+        detail::TaskGroupAccess::Run(t);
+        continue;
       }
-      RunChunks();
-      {
-        MutexLock lock(mu);
-        if (--workers_left == 0) done_cv.notify_all();
-      }
+      MutexLock lock(sleep_mu);
+      if (shutdown) return;
+      if (queued.load(std::memory_order_relaxed) != 0) continue;
+      cv.wait(sleep_mu);
+      if (shutdown) return;
     }
   }
 };
 
 ThreadPool::ThreadPool(int threads)
     : impl_(new Impl), threads_(std::max(1, threads)) {
+  impl_->threads = threads_;
+  impl_->queues.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    impl_->queues.push_back(std::make_unique<WorkDeque>());
+  }
   impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 0; i < threads_ - 1; ++i) {
-    impl_->workers.emplace_back([impl = impl_] { impl->WorkerLoop(); });
+    impl_->workers.emplace_back([impl = impl_, i] { impl->WorkerLoop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  if (impl_->active_groups.load(std::memory_order_acquire) != 0) {
+    // A throwing destructor would terminate with no context; fail loudly
+    // instead. Queued tasks reference TaskGroups (and usually stack
+    // frames) that are about to disappear -- there is no safe recovery.
+    std::fprintf(stderr,
+                 "xflow: fatal: ThreadPool destroyed while %d task group(s) "
+                 "/ parallel loop(s) are still active\n",
+                 impl_->active_groups.load(std::memory_order_relaxed));
+    std::abort();
+  }
   {
-    MutexLock lock(impl_->mu);
+    MutexLock lock(impl_->sleep_mu);
     impl_->shutdown = true;
   }
-  impl_->work_cv.notify_all();
+  impl_->cv.notify_all();
   for (auto& w : impl_->workers) w.join();
   delete impl_;
 }
 
-void ThreadPool::ParallelFor(std::int64_t n, std::int64_t grain,
-                             const std::function<void(std::int64_t)>& fn) {
-  if (n <= 0) return;
-  grain = std::max<std::int64_t>(1, grain);
-  // Inline fallback: single-threaded pool, nested call from a worker or a
-  // coordinating thread, or a loop that fits in one chunk anyway.
-  if (threads_ == 1 || t_in_worker || t_in_parallel || n <= grain) {
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  // Only one top-level loop can own the workers; a concurrent caller on
-  // another application thread falls back to inline execution rather
-  // than clobbering the in-flight job state.
-  std::unique_lock<std::mutex> run_lock(impl_->run_mu, std::try_to_lock);
-  if (!run_lock.owns_lock()) {
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  t_in_parallel = true;
-  {
-    MutexLock lock(impl_->mu);
-    impl_->fn = &fn;
-    impl_->n = n;
-    impl_->grain = grain;
-    impl_->next.store(0, std::memory_order_relaxed);
-    impl_->workers_left = static_cast<int>(impl_->workers.size());
-    ++impl_->generation;
-  }
-  impl_->work_cv.notify_all();
-  impl_->RunChunks();  // the caller participates
-  {
-    MutexLock lock(impl_->mu);
-    while (impl_->workers_left != 0) impl_->done_cv.wait(impl_->mu);
-    impl_->fn = nullptr;
-  }
-  t_in_parallel = false;
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+
+TaskGroup::TaskGroup(ThreadPool& pool) : pool_(pool) {
+  pool_.impl_->active_groups.fetch_add(1, std::memory_order_acq_rel);
 }
 
-bool ThreadPool::InWorker() { return t_in_worker; }
+TaskGroup::TaskGroup() : TaskGroup(ThreadPool::Global()) {}
+
+TaskGroup::~TaskGroup() {
+  if (pending_.load(std::memory_order_acquire) != 0) {
+    try {
+      Wait();
+    } catch (...) {
+      // The explicit-Wait contract is the error path; the destructor only
+      // guarantees the lifetime invariant (no task outlives its closure).
+    }
+  }
+  pool_.impl_->active_groups.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void TaskGroup::Spawn(FunctionRef<void()> task) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  const Task t{task, this};
+  if (pool_.threads() == 1) {
+    // No workers: run inline, immediately, in spawn order -- the
+    // deterministic degenerate schedule.
+    detail::TaskGroupAccess::Run(t);
+    return;
+  }
+  pool_.impl_->Push(t);
+}
+
+void TaskGroup::Wait() {
+  ThreadPool::Impl* impl = pool_.impl_;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    Task t{[] {}, nullptr};
+    if (impl->TryGetWork(&t)) {
+      // Help: the stolen task may belong to any group (running it cannot
+      // deadlock -- it only ever waits on tasks that waiters also run).
+      detail::TaskGroupAccess::Run(t);
+      continue;
+    }
+    MutexLock lock(impl->sleep_mu);
+    if (pending_.load(std::memory_order_acquire) == 0) break;
+    if (impl->queued.load(std::memory_order_relaxed) != 0) continue;
+    impl->cv.wait(impl->sleep_mu);
+  }
+  RethrowIfError();
+}
+
+void TaskGroup::RecordError() noexcept {
+  aborted_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(err_mu_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void TaskGroup::FinishOne() noexcept {
+  // The final decrement releases the waiter, which may return from
+  // Wait() and destroy this group immediately -- so nothing on `this`
+  // may be touched after the fetch_sub. The pool's impl is safe to use
+  // past that point: workers are joined before the pool deletes it, and
+  // an external helper reaching here is inside some group's Wait() on
+  // the same pool, so active_groups != 0 and the pool destructor would
+  // abort rather than free it.
+  ThreadPool::Impl* impl = pool_.impl_;
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task out wakes the (possibly sleeping) waiter.
+    impl->NotifyAll();
+  }
+}
+
+void TaskGroup::RethrowIfError() {
+  if (!aborted_.load(std::memory_order_acquire)) return;
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  aborted_.store(false, std::memory_order_relaxed);
+  if (err) std::rethrow_exception(err);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelFor
+
+namespace {
+
+/// Shared state of one loop: fixed chunk grid + per-region claim
+/// cursors. Chunk c always covers [c*grain, min((c+1)*grain, n)) -- a
+/// pure function of (n, grain) -- so region shape and claim order can
+/// never change what any index computes, only which thread runs it.
+struct LoopState {
+  FunctionRef<void(std::int64_t)> fn;
+  std::int64_t n;
+  std::int64_t grain;
+  std::int64_t chunks;
+  int regions;
+  const std::atomic<bool>* aborted;
+  std::unique_ptr<std::atomic<std::int64_t>[]> cursor;
+
+  LoopState(FunctionRef<void(std::int64_t)> f, std::int64_t n_,
+            std::int64_t grain_, std::int64_t chunks_, int regions_,
+            const std::atomic<bool>* aborted_)
+      : fn(f),
+        n(n_),
+        grain(grain_),
+        chunks(chunks_),
+        regions(regions_),
+        aborted(aborted_),
+        cursor(new std::atomic<std::int64_t>[static_cast<std::size_t>(
+            regions_)]) {
+    for (int r = 0; r < regions; ++r) {
+      cursor[r].store(RegionBegin(r), std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::int64_t RegionBegin(int r) const {
+    return chunks * r / regions;
+  }
+
+  /// Claims and runs chunks, own region first, then the rest in ring
+  /// order. With the same chunking used by the first-touch fills, the
+  /// worker on slot `home` re-claims the rows it faulted in whenever the
+  /// load is balanced; stealing across regions only kicks in when a
+  /// region runs dry.
+  void Drain(int home) {
+    for (int d = 0; d < regions; ++d) {
+      const int r = (home + d) % regions;
+      const std::int64_t hi = RegionBegin(r + 1);
+      for (;;) {
+        const std::int64_t c = cursor[r].fetch_add(1, std::memory_order_relaxed);
+        if (c >= hi) break;
+        const std::int64_t begin = c * grain;
+        const std::int64_t end = std::min(begin + grain, n);
+        for (std::int64_t i = begin; i < end; ++i) fn(i);
+        if (aborted->load(std::memory_order_relaxed)) return;
+      }
+    }
+  }
+};
+
+/// Home region of the calling thread within `pool`: workers use their
+/// slot, everyone else (the application thread, or a worker of some
+/// other pool) takes the last region -- the one no worker claims first.
+int HomeRegion(const void* pool_impl, int regions) {
+  if (t_pool == pool_impl && t_slot >= 0 && t_slot < regions) return t_slot;
+  return regions - 1;
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(std::int64_t n, std::int64_t grain,
+                             FunctionRef<void(std::int64_t)> fn) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  if (threads_ == 1 || chunks <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  TaskGroup group(*this);
+  std::atomic<bool> stop{false};
+  LoopState loop(fn, n, grain, chunks, threads_, &stop);
+  // Helper tickets: claimed by idle workers (or threads helping in their
+  // own Wait). Each ticket drains from the claiming thread's home
+  // region, so affinity follows the executing thread, not the ticket.
+  // A throwing chunk flips `stop` so every participant quits claiming.
+  auto drain = [&loop, &stop, impl = impl_] {
+    try {
+      loop.Drain(HomeRegion(impl, loop.regions));
+    } catch (...) {
+      stop.store(true, std::memory_order_relaxed);
+      throw;
+    }
+  };
+  const std::int64_t helpers =
+      std::min<std::int64_t>(threads_ - 1, chunks - 1);
+  for (std::int64_t h = 0; h < helpers; ++h) group.Spawn(drain);
+  try {
+    loop.Drain(HomeRegion(impl_, loop.regions));  // the caller participates
+  } catch (...) {
+    // Stop helpers claiming further chunks, quiesce, then propagate.
+    stop.store(true, std::memory_order_relaxed);
+    group.Wait();
+    throw;
+  }
+  group.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Global pool
 
 namespace {
 Mutex g_global_mu;
@@ -184,18 +449,26 @@ ThreadPool& ThreadPool::Global() {
 
 void ThreadPool::SetGlobalThreads(int threads) {
   MutexLock lock(g_global_mu);
+  if (g_global_pool) {
+    require(g_global_pool->impl_->active_groups.load(
+                std::memory_order_acquire) == 0,
+            "ThreadPool::SetGlobalThreads: cannot resize the pool while "
+            "task groups or parallel loops are active on it; wait for "
+            "in-flight work to finish first");
+  }
   g_global_pool = std::make_unique<ThreadPool>(std::max(1, threads));
 }
 
 void ParallelFor(std::int64_t n, std::int64_t grain,
-                 const std::function<void(std::int64_t)>& fn) {
+                 FunctionRef<void(std::int64_t)> fn) {
   ThreadPool::Global().ParallelFor(n, grain, fn);
 }
 
 void* ThreadScratch(std::size_t bytes) {
   // One arena per OS thread (pool workers and application threads alike),
   // grown monotonically: kernels request tile-sized buffers repeatedly, so
-  // after warm-up this never allocates on the hot path.
+  // after warm-up this never allocates on the hot path. Only stable
+  // within a chunk body -- see the header contract.
   thread_local std::vector<std::byte> arena;
   if (arena.size() < bytes) arena.resize(bytes);
   return arena.data();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
+#include <cstdlib>
 #include <iterator>
 #include <stdexcept>
 #include <utility>
@@ -9,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "common/threadpool.hpp"
 #include "fusion/fuser.hpp"
 #include "ops/elementwise.hpp"
 #include "ops/fused.hpp"
@@ -53,6 +56,19 @@ char ReduceDim(const OpNode& op) {
 }
 
 }  // namespace
+
+bool TaskSchedulerDefault() {
+  static const bool value = [] {
+    const char* env = std::getenv("XFLOW_TASK_SCHED");
+    if (env == nullptr || *env == '\0') return true;
+    std::string v(env);
+    for (char& c : v) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return v != "0" && v != "false" && v != "off" && v != "no";
+  }();
+  return value;
+}
 
 template <typename T>
 bool GraphExecutorT<T>::IsBackwardKind(OpKind kind) {
@@ -229,6 +245,74 @@ void GraphExecutorT<T>::BuildSchedule() {
       break;
     }
   }
+
+  BuildStepDeps();
+}
+
+template <typename T>
+void GraphExecutorT<T>::BuildStepDeps() {
+  const int count = static_cast<int>(steps_.size());
+  step_preds_.assign(steps_.size(), {});
+  step_succs_.assign(steps_.size(), {});
+  runners_.resize(steps_.size());
+  for (int s = 0; s < count; ++s) runners_[static_cast<std::size_t>(s)] =
+      StepRunner{this, s};
+  remaining_ = std::make_unique<std::atomic<int>[]>(steps_.size());
+
+  // What every step touches: container names with a written-by-this-step
+  // flag, plus the planned byte span of each planned container. Names
+  // catch external containers (weights, graph inputs, weight gradients)
+  // that the plan never sees; byte spans are the safety net against a
+  // plan that recycles bytes between name-independent steps -- the
+  // planner proves such reuse path-ordered (and the verifier's
+  // plan/concurrent-overlap rule re-checks it), but a scheduler must not
+  // rely on an optimizer's proof to stay memory-safe.
+  struct Access {
+    std::map<std::string, bool> names;  // name -> step writes it
+    std::vector<std::array<std::size_t, 3>> spans;  // begin, end, writes
+  };
+  std::vector<Access> access(steps_.size());
+  for (int s = 0; s < count; ++s) {
+    Access& a = access[static_cast<std::size_t>(s)];
+    for (int idx : steps_[static_cast<std::size_t>(s)].ops) {
+      const OpNode& op = graph_.ops()[static_cast<std::size_t>(idx)];
+      for (const auto& in : op.inputs) a.names.try_emplace(in, false);
+      for (const auto& out : op.outputs) a.names.insert_or_assign(out, true);
+    }
+    for (const auto& [name, writes] : a.names) {
+      if (!plan_->Contains(name)) continue;
+      const TensorPlacement& p = plan_->at(name);
+      if (p.bytes == 0) continue;
+      a.spans.push_back({p.offset, p.offset + p.bytes,
+                         writes ? std::size_t{1} : std::size_t{0}});
+    }
+  }
+  const auto conflicts = [](const Access& x, const Access& y) {
+    const Access& probe = x.names.size() <= y.names.size() ? x : y;
+    const Access& table = x.names.size() <= y.names.size() ? y : x;
+    for (const auto& [name, writes] : probe.names) {
+      const auto it = table.names.find(name);
+      if (it != table.names.end() && (writes || it->second)) return true;
+    }
+    for (const auto& sx : x.spans) {
+      for (const auto& sy : y.spans) {
+        if (sx[2] == 0 && sy[2] == 0) continue;  // two reads never race
+        if (sx[0] < sy[1] && sy[0] < sx[1]) return true;
+      }
+    }
+    return false;
+  };
+  // Edges run strictly forward in schedule order, so the DAG is acyclic
+  // by construction and step_succs_ lists stay sorted ascending.
+  for (int j = 1; j < count; ++j) {
+    for (int i = 0; i < j; ++i) {
+      if (conflicts(access[static_cast<std::size_t>(i)],
+                    access[static_cast<std::size_t>(j)])) {
+        step_preds_[static_cast<std::size_t>(j)].push_back(i);
+        step_succs_[static_cast<std::size_t>(i)].push_back(j);
+      }
+    }
+  }
 }
 
 template <typename T>
@@ -385,29 +469,91 @@ void GraphExecutorT<T>::Backward() {
 
 template <typename T>
 void GraphExecutorT<T>::RunRange(int begin_step, int end_step) {
+  if (options_.use_task_scheduler && end_step - begin_step > 1 &&
+      ThreadPool::Global().threads() > 1) {
+    RunRangeConcurrent(begin_step, end_step);
+    return;
+  }
+  for (int s = begin_step; s < end_step; ++s) RunStepChecked(s);
+}
+
+template <typename T>
+void GraphExecutorT<T>::RunRangeConcurrent(int begin_step, int end_step) {
+  // Dependency counts restricted to this range (predecessors before
+  // begin_step already ran in a prior call), biased by one so the kickoff
+  // loop below and completing steps use the same release discipline: the
+  // decrement that reaches zero -- wherever it came from -- spawns.
   for (int s = begin_step; s < end_step; ++s) {
-    const Step& step = steps_[static_cast<std::size_t>(s)];
-    // Kernel-layer failures name the op(s) being executed, in the
-    // verifier's diagnostic form, instead of surfacing a bare index.
-    auto step_ref = [&] {
-      std::vector<std::string> refs;
-      refs.reserve(step.ops.size());
-      for (int idx : step.ops) refs.push_back(OpRef(graph_, idx));
-      return Join(refs, " + ");
-    };
-    try {
-      Dispatch(step);
-    } catch (const InvalidArgument& e) {
-      throw InvalidArgument(
-          StrFormat("%s [while executing %s]", e.what(), step_ref().c_str()));
-    } catch (const ContractViolation& e) {
-      throw ContractViolation(
-          StrFormat("%s [while executing %s]", e.what(), step_ref().c_str()));
-    } catch (const std::out_of_range& e) {
-      throw ContractViolation(
-          StrFormat("missing per-op attribute (%s) [while executing %s]",
-                    e.what(), step_ref().c_str()));
+    int preds = 0;
+    for (int p : step_preds_[static_cast<std::size_t>(s)]) {
+      preds += p >= begin_step ? 1 : 0;
     }
+    remaining_[s].store(preds + 1, std::memory_order_relaxed);
+  }
+  TaskGroup group;  // over the global pool
+  RunCtx ctx;
+  ctx.group = &group;
+  ctx.begin_step = begin_step;
+  ctx.end_step = end_step;
+  run_ = &ctx;
+  for (int s = begin_step; s < end_step; ++s) {
+    if (remaining_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      group.Spawn(runners_[static_cast<std::size_t>(s)]);
+    }
+  }
+  try {
+    group.Wait();  // rethrows the first step failure after quiescing
+  } catch (...) {
+    run_ = nullptr;
+    throw;
+  }
+  run_ = nullptr;
+}
+
+template <typename T>
+void GraphExecutorT<T>::RunStepTask(int s) {
+  RunCtx& ctx = *run_;
+  if (ctx.failed.load(std::memory_order_acquire)) return;
+  try {
+    RunStepChecked(s);
+  } catch (...) {
+    // Leave successors unreleased: the range is being abandoned, and
+    // TaskGroup::Wait will rethrow this (its first recorded error) once
+    // the already-spawned steps have drained.
+    ctx.failed.store(true, std::memory_order_release);
+    throw;
+  }
+  for (int t : step_succs_[static_cast<std::size_t>(s)]) {
+    if (t >= ctx.end_step) break;  // ascending, rest is out of range too
+    if (remaining_[t].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ctx.group->Spawn(runners_[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
+template <typename T>
+void GraphExecutorT<T>::RunStepChecked(int s) {
+  const Step& step = steps_[static_cast<std::size_t>(s)];
+  // Kernel-layer failures name the op(s) being executed, in the
+  // verifier's diagnostic form, instead of surfacing a bare index.
+  auto step_ref = [&] {
+    std::vector<std::string> refs;
+    refs.reserve(step.ops.size());
+    for (int idx : step.ops) refs.push_back(OpRef(graph_, idx));
+    return Join(refs, " + ");
+  };
+  try {
+    Dispatch(step);
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(
+        StrFormat("%s [while executing %s]", e.what(), step_ref().c_str()));
+  } catch (const ContractViolation& e) {
+    throw ContractViolation(
+        StrFormat("%s [while executing %s]", e.what(), step_ref().c_str()));
+  } catch (const std::out_of_range& e) {
+    throw ContractViolation(
+        StrFormat("missing per-op attribute (%s) [while executing %s]",
+                  e.what(), step_ref().c_str()));
   }
 }
 

@@ -25,8 +25,24 @@
 // performs -- so executor results are bitwise identical to the hand-wired
 // path at every thread count. Steady-state Run calls perform zero tensor
 // or workspace allocations: all views are non-owning aliases.
+//
+// With `use_task_scheduler` the schedule additionally runs *concurrently*:
+// BuildSchedule derives a step-level dependency DAG (an edge whenever two
+// steps touch a common container and at least one writes it, plus a
+// planned-byte-overlap safety net), and RunRange dispatches every
+// dependency-free step as a TaskGroup task over the work-stealing pool.
+// Independent graph branches -- the attention head and the residual leg,
+// the mutually independent dW/dX gradients -- overlap, while each step's
+// internal ParallelFor splits across the remaining workers (nested groups
+// are deadlock-free: a waiter steals instead of idling). Results stay
+// bitwise identical to serial execution at every thread count: the
+// dependency DAG serializes every pair of steps whose bytes could
+// interact, and each kernel's determinism contract (fixed chunking, fixed
+// reduction order) is scheduling-independent. One executor instance still
+// serves one caller at a time; concurrency lives *inside* RunRange.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,7 +56,16 @@
 #include "tensor/tensor.hpp"
 #include "tensor/workspace.hpp"
 
+namespace xflow {
+class TaskGroup;  // common/threadpool.hpp
+}  // namespace xflow
+
 namespace xflow::graph {
+
+/// Default for ExecutorOptions::use_task_scheduler: the XFLOW_TASK_SCHED
+/// environment variable when set (1/true/on/yes enables, 0/false/off/no
+/// disables, case-insensitive), otherwise on. Read once per process.
+bool TaskSchedulerDefault();
 
 /// Runtime attributes the graph does not carry: the scalar knobs of the
 /// softmax/layernorm/dropout kernels and the dropout seed schedule.
@@ -48,6 +73,11 @@ struct ExecutorOptions {
   /// Dispatch recognized multi-op groups as the paper's fused kernels;
   /// otherwise every op runs as its own kernel launch.
   bool use_fused_kernels = true;
+  /// Run dependency-free schedule steps concurrently on the global
+  /// work-stealing pool (see the header comment). Bitwise identical to
+  /// serial execution; falls back to the serial loop on a single-thread
+  /// pool.
+  bool use_task_scheduler = TaskSchedulerDefault();
   /// Causal (decoder-style) attention masking inside the SM kernel.
   bool causal = false;
   float dropout_prob = 0.0f;
@@ -133,6 +163,7 @@ class GraphExecutorT {
 
   void BuildBindings();
   void BuildSchedule();
+  void BuildStepDeps();
   /// Pre-flight: when PreflightVerifyEnabled() and a bind happened since
   /// the last successful check of this pass, re-verify (graph, plan) plus
   /// the bindings the ops in [begin_op, end_op) touch, and throw
@@ -142,6 +173,13 @@ class GraphExecutorT {
   [[nodiscard]] VerifyReport VerifyBindingsInRange(int begin_op, int end_op,
                                                    bool warn_unused) const;
   void RunRange(int begin_step, int end_step);
+  void RunRangeConcurrent(int begin_step, int end_step);
+  /// One step's dispatch with kernel failures wrapped in the op-naming
+  /// "[while executing ...]" context (shared by both execution modes).
+  void RunStepChecked(int s);
+  /// Task body of one scheduled step: run it, then release (and spawn)
+  /// every in-range successor whose dependency count hits zero.
+  void RunStepTask(int s);
   void Dispatch(const Step& step);
   void DispatchSingle(const OpNode& op, int op_index);
 
@@ -164,6 +202,28 @@ class GraphExecutorT {
   std::map<int, ContractionOperands> contraction_operands_;
   std::map<int, std::uint64_t> dropout_seed_;  // per dropout-bearing op
   std::vector<Step> steps_;
+  // Step-level dependency DAG (BuildStepDeps): edges always point from
+  // the earlier schedule index to the later one, so step j runs only
+  // after every in-range predecessor in step_preds_[j]. runners_ and
+  // remaining_ are preallocated scheduling state RunRangeConcurrent
+  // reuses every call; run_ points at the active call's stack context
+  // (one caller at a time, like the rest of the executor API).
+  struct StepRunner {
+    GraphExecutorT* self = nullptr;
+    int step = 0;
+    void operator()() const { self->RunStepTask(step); }
+  };
+  struct RunCtx {
+    TaskGroup* group = nullptr;
+    int begin_step = 0;
+    int end_step = 0;
+    std::atomic<bool> failed{false};
+  };
+  std::vector<std::vector<int>> step_preds_;
+  std::vector<std::vector<int>> step_succs_;
+  std::vector<StepRunner> runners_;
+  std::unique_ptr<std::atomic<int>[]> remaining_;
+  RunCtx* run_ = nullptr;
   int backward_begin_ = 0;       // op index
   int backward_begin_step_ = 0;  // step index
   // Re-verify before the next Forward/Backward (set on construction and

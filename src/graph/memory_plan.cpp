@@ -1,6 +1,7 @@
 #include "graph/memory_plan.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -13,6 +14,8 @@ namespace {
 struct Unit {
   std::string name;  // group name, or the tensor name for singles
   std::vector<TensorPlacement> members;  // packed in order; offsets relative
+  std::vector<int> ops;      // accessor ops (producers + consumers), deduped
+  std::vector<int> writers;  // producer ops of the members, deduped
   std::size_t bytes = 0;                 // packed total
   std::size_t base = 0;                  // slab offset once placed
   int first_use = 0;
@@ -23,6 +26,41 @@ struct Unit {
 bool Overlaps(const Unit& a, const Unit& b) {
   return a.first_use <= b.last_use && b.first_use <= a.last_use;
 }
+
+/// Transitive successor closure over the op DAG, one bitset row per op
+/// (own bit set). Builders emit ops in topological order (rule
+/// graph/topo-order), so a reverse scan folds every consumer's closure
+/// into its producer in one pass.
+class OpReachability {
+ public:
+  explicit OpReachability(const DataflowGraph& graph)
+      : words_((graph.ops().size() + 63) / 64),
+        bits_(graph.ops().size() * words_, 0) {
+    for (std::size_t i = graph.ops().size(); i-- > 0;) {
+      std::uint64_t* row = bits_.data() + i * words_;
+      row[i / 64] |= std::uint64_t{1} << (i % 64);
+      for (const auto& out : graph.ops()[i].outputs) {
+        for (int c : graph.ConsumersOf(out)) {
+          const std::uint64_t* crow =
+              bits_.data() + static_cast<std::size_t>(c) * words_;
+          for (std::size_t w = 0; w < words_; ++w) row[w] |= crow[w];
+        }
+      }
+    }
+  }
+
+  /// True when a path a -> ... -> b exists (a == b counts as reachable).
+  [[nodiscard]] bool Reaches(int a, int b) const {
+    return (bits_[static_cast<std::size_t>(a) * words_ +
+                  static_cast<std::size_t>(b) / 64] >>
+            (static_cast<std::size_t>(b) % 64)) &
+           1u;
+  }
+
+ private:
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
 
 std::size_t AlignUp(std::size_t v, std::size_t alignment) {
   return (v + alignment - 1) / alignment * alignment;
@@ -112,6 +150,25 @@ MemoryPlan PlanMemory(const DataflowGraph& graph,
     if (producer < 0 || consumers.empty() || kept(name)) last = last_op;
     return std::pair<int, int>{first, std::max(first, last)};
   };
+  // Accessor/writer sets feed the concurrency check below; these are the
+  // actual graph ops (rule plan/concurrent-overlap is op-level -- fused
+  // atomicity is already handled by the span-widened liveness, which
+  // keeps two liveness-disjoint units out of any common span).
+  auto add_accessors = [&](const std::string& name, Unit& u) {
+    const int producer = graph.ProducerOf(name);
+    if (producer >= 0) {
+      u.ops.push_back(producer);
+      u.writers.push_back(producer);
+    }
+    for (int c : graph.ConsumersOf(name)) u.ops.push_back(c);
+  };
+  auto dedupe_accessors = [](Unit& u) {
+    std::sort(u.ops.begin(), u.ops.end());
+    u.ops.erase(std::unique(u.ops.begin(), u.ops.end()), u.ops.end());
+    std::sort(u.writers.begin(), u.writers.end());
+    u.writers.erase(std::unique(u.writers.begin(), u.writers.end()),
+                    u.writers.end());
+  };
   auto member_of = [&](const std::string& name) -> const PlanGroup* {
     for (const auto& g : options.groups) {
       for (const auto& m : g.members) {
@@ -156,7 +213,9 @@ MemoryPlan PlanMemory(const DataflowGraph& graph,
           static_cast<std::size_t>(t.shape.num_elements()) * p.elem_bytes;
       u.bytes += p.bytes;
       u.members.push_back(std::move(p));
+      add_accessors(name, u);
     }
+    dedupe_accessors(u);
     units.push_back(std::move(u));
   }
   for (const auto& [name, t] : graph.tensors()) {
@@ -174,6 +233,8 @@ MemoryPlan PlanMemory(const DataflowGraph& graph,
     p.bytes = static_cast<std::size_t>(t.shape.num_elements()) * p.elem_bytes;
     u.bytes = p.bytes;
     u.members.push_back(std::move(p));
+    add_accessors(name, u);
+    dedupe_accessors(u);
     units.push_back(std::move(u));
   }
 
@@ -185,13 +246,41 @@ MemoryPlan PlanMemory(const DataflowGraph& graph,
     return a.name < b.name;
   });
 
+  // Concurrency safety: the executor may run graph-independent steps at
+  // the same time, so liveness disjointness alone no longer licenses byte
+  // reuse -- two units may share bytes only when every access to the
+  // earlier-live one is ordered *by graph edges* before every access to
+  // the later one (rule plan/concurrent-overlap). Liveness uses
+  // span-widened op indices, so two liveness-disjoint units can never
+  // share a fused step; the remaining question is pure reachability.
+  const OpReachability reach(graph);
+  // Every access to `early` must be a graph predecessor of every *write*
+  // to `late`; reads of `late` are then ordered transitively through
+  // their member's producer edge. (a == b cannot happen for
+  // liveness-disjoint units -- an op touching both puts both intervals
+  // across itself -- but is rejected defensively.)
+  auto ordered_before = [&](const Unit& early, const Unit& late) {
+    if (early.ops.empty() || late.writers.empty()) return false;
+    for (int a : early.ops) {
+      for (int b : late.writers) {
+        if (a == b || !reach.Reaches(a, b)) return false;
+      }
+    }
+    return true;
+  };
+  auto conflicts = [&](const Unit& a, const Unit& b) {
+    if (Overlaps(a, b)) return true;
+    return a.last_use < b.first_use ? !ordered_before(a, b)
+                                    : !ordered_before(b, a);
+  };
+
   MemoryPlan plan;
   std::vector<std::pair<std::size_t, std::size_t>> occupied;  // offset, end
   std::vector<Unit> placed;
   for (Unit& u : units) {
     occupied.clear();
     for (const Unit& v : placed) {
-      if (Overlaps(u, v)) occupied.emplace_back(v.base, v.base + v.bytes);
+      if (conflicts(u, v)) occupied.emplace_back(v.base, v.base + v.bytes);
     }
     std::sort(occupied.begin(), occupied.end());
     std::size_t offset = 0;

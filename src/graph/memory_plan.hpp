@@ -122,7 +122,11 @@ class MemoryPlan {
 
 /// Plans every non-weight container of `graph` into one arena by
 /// first-fit over liveness intervals. Deterministic: identical graphs and
-/// options produce identical plans.
+/// options produce identical plans. Concurrency-safe: two containers
+/// share bytes only when, beyond disjoint liveness, every op touching
+/// the earlier one has a graph path to every op touching the later one
+/// -- the task scheduler runs path-free ops concurrently, so plans must
+/// (and do, by construction) satisfy verify rule plan/concurrent-overlap.
 MemoryPlan PlanMemory(const DataflowGraph& graph,
                       const PlanOptions& options = {});
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <optional>
@@ -942,6 +943,82 @@ void CheckPlan(const DataflowGraph& g, const MemoryPlan& plan,
               StrFormat("shares bytes with '%s' while both are live "
                         "([%d, %d] vs [%d, %d])",
                         b.name.c_str(), a.first, a.last, b.first, b.last));
+      }
+    }
+  }
+  // ---- Concurrent overlap: the task scheduler runs ops with no graph
+  // path between them at the same time, so byte reuse justified only by
+  // interval disjointness is a data race waiting to happen. For every
+  // pair of byte-sharing containers, every access to one must be ordered
+  // against every *write* to the other by actual graph edges (reads on
+  // both sides are harmless). Independent of opt on purpose: the rule
+  // re-derives accessors and reachability from the graph alone.
+  {
+    // Successor closure per op (own bit set). Ops are in topological
+    // order here -- rule graph/topo-order gates all plan checks.
+    const std::size_t nops = g.ops().size();
+    const std::size_t words = (nops + 63) / 64;
+    std::vector<std::uint64_t> closure(nops * words, 0);
+    for (std::size_t i = nops; i-- > 0;) {
+      std::uint64_t* row = closure.data() + i * words;
+      row[i / 64] |= std::uint64_t{1} << (i % 64);
+      for (const auto& out : g.ops()[i].outputs) {
+        for (int c : g.ConsumersOf(out)) {
+          const std::uint64_t* crow =
+              closure.data() + static_cast<std::size_t>(c) * words;
+          for (std::size_t w = 0; w < words; ++w) row[w] |= crow[w];
+        }
+      }
+    }
+    auto reaches = [&](int a, int b) {
+      return ((closure[static_cast<std::size_t>(a) * words +
+                       static_cast<std::size_t>(b) / 64] >>
+               (static_cast<std::size_t>(b) % 64)) &
+              1u) != 0;
+    };
+    struct Touched {
+      const TensorPlacement* p = nullptr;
+      int producer = -1;
+      std::vector<int> accessors;  // producer + consumers
+    };
+    std::vector<Touched> touched;
+    for (const auto& [name, p] : plan.placements()) {
+      if (!g.HasTensor(name)) continue;  // group aliases have no edges
+      Touched t;
+      t.p = &p;
+      t.producer = g.ProducerOf(name);
+      if (t.producer >= 0) t.accessors.push_back(t.producer);
+      for (int c : g.ConsumersOf(name)) t.accessors.push_back(c);
+      touched.push_back(std::move(t));
+    }
+    for (std::size_t i = 0; i < touched.size(); ++i) {
+      for (std::size_t j = i + 1; j < touched.size(); ++j) {
+        const Touched& x = touched[i];
+        const Touched& y = touched[j];
+        if (x.p->offset >= y.p->offset + y.p->bytes ||
+            y.p->offset >= x.p->offset + x.p->bytes) {
+          continue;
+        }
+        bool reported = false;
+        for (int p : x.accessors) {
+          for (int q : y.accessors) {
+            if (p == q) continue;
+            if (p != x.producer && q != y.producer) continue;  // both read
+            if (reaches(p, q) || reaches(q, p)) continue;
+            Error(issues, "plan/concurrent-overlap",
+                  g.ops()[static_cast<std::size_t>(p)].name, x.p->name,
+                  StrFormat("shares bytes with '%s', but the graph has no "
+                            "path between '%s' and '%s' and one of them "
+                            "writes -- the scheduler may run them "
+                            "concurrently",
+                            y.p->name.c_str(),
+                            g.ops()[static_cast<std::size_t>(p)].name.c_str(),
+                            g.ops()[static_cast<std::size_t>(q)].name.c_str()));
+            reported = true;
+            break;
+          }
+          if (reported) break;
+        }
       }
     }
   }

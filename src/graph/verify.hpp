@@ -27,6 +27,11 @@
 //   plan/overlap            byte ranges only shared across disjoint per-op
 //                           live intervals (span-induced concurrency is
 //                           plan/fused-atomic's job)
+//   plan/concurrent-overlap byte-sharing containers must have every access
+//                           to one ordered by graph paths against every
+//                           write to the other -- the task scheduler runs
+//                           path-free ops concurrently, so interval
+//                           disjointness alone no longer licenses reuse
 //   plan/liveness           recorded intervals match (or contain, without
 //                           options) the intervals recomputed from edges
 //   plan/pinned             recorded pinned flags == "is a graph input"

@@ -64,6 +64,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/function_ref.hpp"
 #include "common/threadpool.hpp"
 #include "ops/iter.hpp"
 
@@ -316,9 +317,12 @@ inline std::int64_t RowsOf(const std::array<std::int64_t, 4>& e) {
 constexpr std::int64_t kRowGrainElems = 2048;
 
 /// Runs fn(a, b, c) for every row, partitioned over the global pool. The
-/// body owns the entire innermost loop of its row.
-template <typename Fn>
-inline void ParallelRows(const std::array<std::int64_t, 4>& e, Fn&& fn) {
+/// body owns the entire innermost loop of its row. Non-owning on purpose
+/// (FunctionRef): one instantiation serves every kernel and the loop
+/// launch carries no std::function allocation or double indirection.
+inline void ParallelRows(
+    const std::array<std::int64_t, 4>& e,
+    FunctionRef<void(std::int64_t, std::int64_t, std::int64_t)> fn) {
   const std::int64_t rows = RowsOf(e);
   if (rows <= 0) return;
   const std::int64_t grain = std::max<std::int64_t>(

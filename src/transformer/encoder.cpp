@@ -151,6 +151,7 @@ graph::GraphExecutorT<T>& EncoderLayerT<T>::Executor(
     const auto& d = config_.dims;
     graph::ExecutorOptions opts;
     opts.use_fused_kernels = config_.use_fused_kernels;
+    opts.use_task_scheduler = config_.use_task_scheduler;
     opts.causal = config_.causal;
     opts.dropout_prob = config_.dropout_prob;
     opts.ln_eps = config_.ln_eps;

@@ -16,6 +16,7 @@
 namespace xflow::graph {
 template <typename T>
 class GraphExecutorT;  // graph/executor.hpp
+bool TaskSchedulerDefault();  // graph/executor.hpp
 }  // namespace xflow::graph
 
 namespace xflow::transformer {
@@ -45,6 +46,11 @@ struct EncoderConfig {
   /// the hand-wired path. Without a bound arena the layer falls back to
   /// hand-wired execution (the executor requires a plan to bind to).
   bool use_graph_executor = GraphExecutorDefault();
+  /// Let the graph executor run dependency-free schedule steps
+  /// concurrently on the work-stealing pool (graph/executor.hpp).
+  /// Bitwise identical to serial execution at every thread count; only
+  /// meaningful together with `use_graph_executor`.
+  bool use_task_scheduler = graph::TaskSchedulerDefault();
 };
 
 /// Layer parameters. Dimension names follow the paper; the Q/K/V projection

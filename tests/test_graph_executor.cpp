@@ -59,14 +59,12 @@ EncoderConfig Config(const ModelDims& dims, bool fused, bool executor) {
 
 Shape Ibj(const ModelDims& d) { return Shape("ibj", {d.i, d.b, d.j}); }
 
-/// Runs one forward+backward on the hand-wired arena path and on the
-/// executor path and asserts every saved activation and every gradient
-/// is bitwise identical.
-void ExpectExecutorMatchesHandWired(const ModelDims& dims, bool fused,
-                                    bool causal = false) {
-  auto hand_cfg = Config(dims, fused, /*executor=*/false);
-  auto exec_cfg = Config(dims, fused, /*executor=*/true);
-  hand_cfg.causal = exec_cfg.causal = causal;
+/// Runs one forward+backward under each config (same dims, same seeds)
+/// and asserts every saved activation and every gradient is bitwise
+/// identical between the two runs.
+void ExpectLayersMatchBitwise(const EncoderConfig& hand_cfg,
+                              const EncoderConfig& exec_cfg) {
+  const auto& dims = hand_cfg.dims;
   auto params = EncoderParamsT<Half>::Init(dims, 11);
   EncoderLayerT<Half> hand(hand_cfg, params);
   EncoderLayerT<Half> exec(exec_cfg, params);
@@ -118,6 +116,27 @@ void ExpectExecutorMatchesHandWired(const ModelDims& dims, bool fused,
   }
 }
 
+/// Hand-wired arena path vs executor path (task scheduler at its
+/// default), bitwise.
+void ExpectExecutorMatchesHandWired(const ModelDims& dims, bool fused,
+                                    bool causal = false) {
+  auto hand_cfg = Config(dims, fused, /*executor=*/false);
+  auto exec_cfg = Config(dims, fused, /*executor=*/true);
+  hand_cfg.causal = exec_cfg.causal = causal;
+  ExpectLayersMatchBitwise(hand_cfg, exec_cfg);
+}
+
+/// Executor with the serial step loop vs executor with the concurrent
+/// task scheduler, bitwise -- the scheduler may only change which thread
+/// runs a step, never any result byte.
+void ExpectTaskSchedulerMatchesSerial(const ModelDims& dims, bool fused) {
+  auto serial_cfg = Config(dims, fused, /*executor=*/true);
+  auto sched_cfg = Config(dims, fused, /*executor=*/true);
+  serial_cfg.use_task_scheduler = false;
+  sched_cfg.use_task_scheduler = true;
+  ExpectLayersMatchBitwise(serial_cfg, sched_cfg);
+}
+
 TEST(GraphExecutor, BitwiseMatchesHandWiredTiny) {
   for (int threads : {1, 2, 8}) {
     ThreadGuard guard(threads);
@@ -145,6 +164,80 @@ TEST(GraphExecutor, BitwiseMatchesHandWiredBertBase) {
     SCOPED_TRACE(StrFormat("fused=%d", int(fused)));
     ExpectExecutorMatchesHandWired(ModelDims::BertBase(), fused);
   }
+}
+
+TEST(GraphExecutor, TaskSchedulerBitwiseMatchesSerialTiny) {
+  for (int threads : {1, 2, 8}) {
+    ThreadGuard guard(threads);
+    for (bool fused : {true, false}) {
+      SCOPED_TRACE(StrFormat("threads=%d fused=%d", threads, int(fused)));
+      ExpectTaskSchedulerMatchesSerial(ModelDims::Tiny(), fused);
+    }
+  }
+}
+
+TEST(GraphExecutor, TaskSchedulerBitwiseMatchesSerialBertBase) {
+  // Full-size dims, pool forced wide so the ready list genuinely runs
+  // branches concurrently (the unfused schedule has the deepest DAG).
+  if (UnderSanitizer()) {
+    GTEST_SKIP() << "BERT-base bitwise suite is too slow under ASan/UBSan";
+  }
+  ThreadGuard guard(8);
+  for (bool fused : {true, false}) {
+    SCOPED_TRACE(StrFormat("fused=%d", int(fused)));
+    ExpectTaskSchedulerMatchesSerial(ModelDims::BertBase(), fused);
+  }
+}
+
+TEST(GraphExecutor, TaskSchedulerTrainsIdenticallyToSerial) {
+  // Whole-loop equivalence under concurrency: a 4-step Adam trajectory
+  // through the task-scheduled executor matches the serial-schedule
+  // executor bit for bit (any schedule-dependent result byte would
+  // compound across steps and show up here).
+  ThreadGuard guard(8);
+  constexpr int kLayers = 2;
+  const auto dims = ModelDims::Tiny();
+  auto run = [&](bool task_sched) {
+    auto cfg = Config(dims, /*fused=*/true, /*executor=*/true);
+    cfg.use_task_scheduler = task_sched;
+    EncoderStackT<Half> stack(cfg, kLayers, 3);
+    EncoderStackWorkspaceT<Half> workspace(cfg, kLayers);
+    std::vector<EncoderActivationsT<Half>> acts;
+    std::vector<EncoderGradientsT<Half>> grads;
+    stack.BindWorkspace(workspace, acts, grads);
+    auto x = TensorH::Random(Ibj(dims), 5);
+    auto target = TensorH::Random(Ibj(dims), 6);
+    TensorH d_y(Ibj(dims));
+    MixedPrecisionAdam opt({.lr = 2e-3f});
+    std::vector<std::vector<TensorF>> masters(kLayers);
+    for (int l = 0; l < kLayers; ++l) {
+      for (auto& [name, t] : stack.layer(l).params().Named()) {
+        masters[static_cast<std::size_t>(l)].push_back(t->Cast<float>());
+      }
+    }
+    for (int s = 0; s < 4; ++s) {
+      const auto& y = stack.Forward(x, acts);
+      MseLoss(y, target, d_y);
+      stack.Backward(d_y, acts, grads);
+      for (int l = 0; l < kLayers; ++l) {
+        const auto lu = static_cast<std::size_t>(l);
+        auto named_params = stack.layer(l).params().Named();
+        auto named_grads = grads[lu].params.Named();
+        for (std::size_t p = 0; p < named_params.size(); ++p) {
+          opt.Step(StrFormat("l%d.%s", l, named_params[p].first.c_str()),
+                   masters[lu][p], *named_params[p].second,
+                   *named_grads[p].second);
+        }
+      }
+    }
+    const auto& y = stack.Forward(x, acts);
+    TensorH out(y.shape());
+    CopyValuesInto(y, out);
+    return out;
+  };
+  auto serial = run(false);
+  auto sched = run(true);
+  EXPECT_EQ(MaxAbsDiff(serial, sched), 0.0);
 }
 
 TEST(GraphExecutor, StackTrainsIdenticallyToHandWired) {

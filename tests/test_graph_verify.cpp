@@ -298,6 +298,46 @@ TEST(VerifyPlan, OverlappingLiveContainers) {
   ExpectOnlyRule(Verify(f.graph, plan), "plan/overlap");
 }
 
+TEST(VerifyPlan, ConcurrentOverlapBetweenPathFreeBranches) {
+  // Two fully independent relu chains in one graph: x0 -> a -> out0 and
+  // x1 -> b -> out1. a (live [0, 1]) and b (live [2, 3]) have disjoint
+  // per-op intervals, so plan/overlap permits them to share bytes -- but
+  // no graph path connects the branches, so the task scheduler is free to
+  // run them concurrently and the sharing races. Exactly (and only)
+  // plan/concurrent-overlap owns this corruption.
+  DataflowGraph g;
+  const Shape bj("bj", {2, 3});
+  for (const char* name : {"x0", "a", "out0", "x1", "b", "out1"}) {
+    g.AddTensor(name, bj);
+  }
+  g.AddOp({.name = "a0",
+           .kind = OpKind::kReLU,
+           .inputs = {"x0"},
+           .outputs = {"a"}});
+  g.AddOp({.name = "a1",
+           .kind = OpKind::kReLU,
+           .inputs = {"a"},
+           .outputs = {"out0"}});
+  g.AddOp({.name = "b0",
+           .kind = OpKind::kReLU,
+           .inputs = {"x1"},
+           .outputs = {"b"}});
+  g.AddOp({.name = "b1",
+           .kind = OpKind::kReLU,
+           .inputs = {"b"},
+           .outputs = {"out1"}});
+  const PlanOptions options;
+  const auto clean = PlanMemory(g, options);
+  // The planner itself must refuse this reuse (concurrency-safe by
+  // construction), so its own output verifies clean.
+  const auto ok = Verify(g, clean, options);
+  EXPECT_TRUE(ok.ok()) << ok.Summary();
+  const auto plan = Corrupted(
+      clean, [](auto& p) { p.at("b").offset = p.at("a").offset; });
+  ExpectOnlyRule(Verify(g, plan, options), "plan/concurrent-overlap");
+  ExpectOnlyRule(Verify(g, plan), "plan/concurrent-overlap");
+}
+
 TEST(VerifyPlan, ShrunkLivenessInterval) {
   const auto f = MakeChain();
   const auto plan = Corrupted(f.plan, [](auto& p) {

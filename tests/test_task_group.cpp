@@ -1,0 +1,209 @@
+// TaskGroup semantics and stress: nested spawns, help-while-waiting,
+// exception propagation, and the Resize-safety contract. The *Stress
+// tests exist primarily for the TSan CI stage (they run under the
+// threaded label's pinned-thread re-runs): they drive heavy concurrent
+// spawn/steal/ParallelFor traffic so any unlocked shared state in the
+// pool surfaces as a race report.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/threadpool.hpp"
+
+namespace xflow {
+namespace {
+
+TEST(TaskGroup, RunsEverySpawnedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> runs{0};
+  auto task = [&] { runs.fetch_add(1, std::memory_order_relaxed); };
+  TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) group.Spawn(task);
+  group.Wait();
+  EXPECT_EQ(runs.load(), 100);
+}
+
+TEST(TaskGroup, IsReusableAfterWait) {
+  ThreadPool pool(3);
+  std::atomic<int> runs{0};
+  auto task = [&] { runs.fetch_add(1, std::memory_order_relaxed); };
+  TaskGroup group(pool);
+  for (int round = 1; round <= 5; ++round) {
+    for (int i = 0; i < 10; ++i) group.Spawn(task);
+    group.Wait();
+    ASSERT_EQ(runs.load(), 10 * round);
+  }
+}
+
+TEST(TaskGroup, SingleThreadPoolRunsInlineInSpawnOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  int next = 0;
+  auto task = [&] { order.push_back(next++); };
+  TaskGroup group(pool);
+  for (int i = 0; i < 5; ++i) group.Spawn(task);
+  // Inline execution: everything already ran, in spawn order, before Wait.
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  group.Wait();
+}
+
+TEST(TaskGroup, NestedGroupsDoNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  auto leaf = [&] { leaves.fetch_add(1, std::memory_order_relaxed); };
+  auto branch = [&] {
+    TaskGroup inner(pool);
+    for (int i = 0; i < 8; ++i) inner.Spawn(leaf);
+    inner.Wait();
+  };
+  TaskGroup outer(pool);
+  for (int i = 0; i < 8; ++i) outer.Spawn(branch);
+  outer.Wait();
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(TaskGroup, TasksMayRunParallelForOnTheSamePool) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  auto task = [&] {
+    pool.ParallelFor(256, 16, [&](std::int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  };
+  TaskGroup group(pool);
+  for (int i = 0; i < 6; ++i) group.Spawn(task);
+  group.Wait();
+  EXPECT_EQ(total.load(), 6 * 256);
+}
+
+TEST(TaskGroup, WaitRethrowsTheFirstTaskError) {
+  ThreadPool pool(4);
+  std::atomic<int> ticket{0};
+  std::atomic<int> ran{0};
+  auto task = [&] {
+    if (ticket.fetch_add(1, std::memory_order_relaxed) == 3) {
+      throw std::runtime_error("task failure");
+    }
+    ran.fetch_add(1, std::memory_order_relaxed);
+  };
+  TaskGroup group(pool);
+  for (int i = 0; i < 32; ++i) group.Spawn(task);
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // A failed group skips (not crashes) its stragglers and is reusable.
+  const int before = ran.load();
+  auto ok = [&] { ran.fetch_add(1, std::memory_order_relaxed); };
+  group.Spawn(ok);
+  group.Wait();
+  EXPECT_EQ(ran.load(), before + 1);
+}
+
+TEST(TaskGroup, DestructorWaitsSoClosuresNeverDangle) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  {
+    // Declared before the group: the group's destructor must finish every
+    // task before `slow` (and `done`) go out of scope.
+    auto slow = [&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1, std::memory_order_relaxed);
+    };
+    TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) group.Spawn(slow);
+    // No Wait(): the destructor provides the lifetime guarantee.
+  }
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(TaskGroup, ConcurrentGroupsFromTwoApplicationThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  auto work = [&] {
+    auto leaf = [&] { total.fetch_add(1, std::memory_order_relaxed); };
+    for (int round = 0; round < 25; ++round) {
+      TaskGroup group(pool);
+      for (int i = 0; i < 20; ++i) group.Spawn(leaf);
+      group.Wait();
+    }
+  };
+  std::thread t1(work);
+  std::thread t2(work);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(total.load(), 2 * 25 * 20);
+}
+
+TEST(TaskGroup, SetGlobalThreadsRefusesWhileAGroupIsActive) {
+  ThreadPool::SetGlobalThreads(2);
+  {
+    TaskGroup group;  // on the global pool
+    // Resizing now would tear down workers a live group may be using.
+    EXPECT_THROW(ThreadPool::SetGlobalThreads(4), InvalidArgument);
+  }
+  // With the group gone the resize is legal again.
+  ThreadPool::SetGlobalThreads(4);
+  EXPECT_EQ(ThreadPool::Global().threads(), 4);
+  ThreadPool::SetGlobalThreads(ThreadPool::ResolveGlobalThreads());
+}
+
+// The TSan centerpiece: nested groups, work stealing between eight
+// workers, ParallelFor splitting inside tasks, and cross-group help all
+// running hot for many rounds. Any missing synchronization in the deque /
+// inbox / sleep handshake shows up here as a race or a lost task (the
+// exact final count is asserted).
+TEST(TaskGroupStress, NestedSpawnStealAndParallelForMix) {
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> cells{0};
+  auto leaf = [&] { cells.fetch_add(1, std::memory_order_relaxed); };
+  auto branch = [&] {
+    TaskGroup inner(pool);
+    for (int i = 0; i < 4; ++i) inner.Spawn(leaf);
+    pool.ParallelFor(64, 4, [&](std::int64_t) {
+      cells.fetch_add(1, std::memory_order_relaxed);
+    });
+    inner.Wait();
+  };
+  constexpr int kRounds = 50;
+  constexpr int kBranches = 16;
+  for (int round = 0; round < kRounds; ++round) {
+    TaskGroup group(pool);
+    for (int i = 0; i < kBranches; ++i) group.Spawn(branch);
+    group.Wait();
+  }
+  EXPECT_EQ(cells.load(),
+            static_cast<std::int64_t>(kRounds) * kBranches * (4 + 64));
+}
+
+TEST(TaskGroupStress, DeepNestingUnderConcurrentExternalSubmitters) {
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> total{0};
+  auto leaf = [&] { total.fetch_add(1, std::memory_order_relaxed); };
+  auto mid = [&] {
+    TaskGroup inner(pool);
+    for (int i = 0; i < 3; ++i) inner.Spawn(leaf);
+    inner.Wait();
+  };
+  // Three external (non-worker) threads each submit nested trees through
+  // the shared inbox while workers steal between themselves.
+  auto submitter = [&] {
+    for (int round = 0; round < 20; ++round) {
+      TaskGroup group(pool);
+      for (int i = 0; i < 8; ++i) group.Spawn(mid);
+      group.Wait();
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(3);
+  for (int t = 0; t < 3; ++t) threads.emplace_back(submitter);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), 3 * 20 * 8 * 3);
+}
+
+}  // namespace
+}  // namespace xflow
