@@ -433,6 +433,74 @@ BENCHMARK(BM_QkvBranchConcurrency)
     ->Args({8, 1})
     ->UseRealTime();
 
+void BM_WholeStackStep(benchmark::State& state) {
+  // The whole-stack executor: ONE graph (both layers, forward and
+  // backward), ONE plan, ONE slab, so cross-layer transients share bytes
+  // and the concurrent dispatcher overlaps steps across layers. ckpt:1
+  // recomputes layer 0's forward inside backward (checkpointing) -- the
+  // peak_mb counters show the memory it buys; the time delta is what it
+  // costs. Bitwise identical to BM_EncoderStackStep's per-layer math by
+  // test.
+  using namespace xflow::transformer;
+  ThreadGuard threads(1);
+  const bool ckpt = state.range(0) != 0;
+  EncoderConfig cfg;
+  cfg.dims.b = 2;
+  cfg.dims.j = cfg.dims.k = 32;
+  cfg.dims.h = 4;
+  cfg.dims.p = 16;
+  cfg.dims.i = 64;
+  cfg.dims.u = 128;
+  cfg.dropout_prob = 0.1f;
+  constexpr int kLayers = 2;
+  EncoderStackT<Half> stack(cfg, kLayers, 3);
+  graph::StackGraphOptions options{.num_layers = kLayers};
+  if (ckpt) options.recompute_layers = {0};
+  auto arena = MakeStackArena<Half>(cfg, options);
+  const Shape ibj("ibj", {cfg.dims.i, cfg.dims.b, cfg.dims.j});
+  auto x = TensorH::Random(ibj, 5);
+  auto target = TensorH::Random(ibj, 6);
+  TensorH d_y(ibj);
+  std::vector<EncoderGradientsT<Half>> grads;
+  for (auto _ : state) {
+    const auto& y = stack.Forward(x, arena);
+    benchmark::DoNotOptimize(MseLoss(y, target, d_y));
+    stack.Backward(d_y, arena, grads);
+    benchmark::DoNotOptimize(grads.front().d_x.data());
+  }
+  state.counters["peak_mb"] = benchmark::Counter(
+      static_cast<double>(arena.plan().PeakBytes()) / 1048576.0);
+}
+BENCHMARK(BM_WholeStackStep)->ArgName("ckpt")->Arg(0)->Arg(1);
+
+void BM_WholeStackPlan(benchmark::State& state) {
+  // Whole-stack planning cost at full BERT-base depth (12 layers,
+  // forward+backward, ~10x the per-layer op count): the price of the
+  // cross-layer byte sharing BM_MemoryPlanner's single layer cannot see.
+  // per_layer_sum_mb is what 12 independently planned slabs would
+  // reserve; peak_mb is the one-slab whole-stack peak.
+  const auto dims = xflow::graph::ModelDims::BertBase();
+  const auto g = xflow::graph::BuildEncoderStack(dims, {.num_layers = 12});
+  const auto opts = xflow::transformer::StackPlanOptions<Half>(g);
+  const auto layer = xflow::graph::BuildEncoder(
+      dims, xflow::graph::AlgebraicFusion::kQKV, /*include_backward=*/true);
+  const auto layer_peak =
+      xflow::graph::PlanMemory(layer,
+                               xflow::transformer::EncoderPlanOptions<Half>())
+          .PeakBytes();
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    const auto plan = xflow::graph::PlanMemory(g, opts);
+    peak = plan.PeakBytes();
+    benchmark::DoNotOptimize(peak);
+  }
+  state.counters["peak_mb"] =
+      benchmark::Counter(static_cast<double>(peak) / 1048576.0);
+  state.counters["per_layer_sum_mb"] =
+      benchmark::Counter(static_cast<double>(12 * layer_peak) / 1048576.0);
+}
+BENCHMARK(BM_WholeStackPlan);
+
 void BM_AdamStep(benchmark::State& state) {
   // The mixed-precision optimizer update, now chunked on the pool.
   using namespace xflow::transformer;

@@ -1,6 +1,10 @@
 #include "graph/builder.hpp"
 
+#include <set>
+#include <string>
+
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "tensor/einsum.hpp"
 
 namespace xflow::graph {
@@ -433,6 +437,180 @@ DataflowGraph BuildEncoder(const ModelDims& d, AlgebraicFusion fusion,
   }
   AddMapOp(g, "encoder input bwd", OpKind::kResidualBwd,
            {"d_x_qkv", "d_resid1"}, {"d_x"}, "x");
+  return g;
+}
+
+namespace {
+
+/// Maps a per-layer container name into the whole-stack namespace: layer
+/// boundaries collapse (layer l's `x` IS layer l-1's `y`, layer l's `d_y`
+/// IS layer l+1's `d_x`), everything else gets the "L<l>." prefix.
+std::string StackName(int layer, const StackGraphOptions& o,
+                      const std::string& name) {
+  if (name == "x") {
+    return layer == 0 ? std::string("x") : StrFormat("L%d.y", layer - 1);
+  }
+  if (name == "d_y") {
+    return layer == o.num_layers - 1 ? std::string("d_y")
+                                     : StrFormat("L%d.d_x", layer + 1);
+  }
+  return StrFormat("L%d.%s", layer, name.c_str());
+}
+
+}  // namespace
+
+DataflowGraph BuildEncoderStack(const ModelDims& d,
+                                const StackGraphOptions& o) {
+  require(o.num_layers >= 1, "stack graph needs at least one layer");
+  for (int l : o.recompute_layers) {
+    require(l >= 0 && l < o.num_layers, "recompute layer out of range");
+    require(o.include_backward,
+            "recompute layers only exist in the backward graph");
+  }
+  const DataflowGraph layer =
+      BuildEncoder(d, AlgebraicFusion::kQKV, o.include_backward);
+  // Split the per-layer op list into forward and backward regions (the
+  // first gradient-computing op opens the backward region).
+  std::size_t bwd_begin = layer.ops().size();
+  for (std::size_t i = 0; i < layer.ops().size(); ++i) {
+    if (IsBackwardOp(layer.ops()[i].kind)) {
+      bwd_begin = i;
+      break;
+    }
+  }
+  // Interior forward products of one layer -- what a checkpointed layer
+  // recomputes. `y` is a layer boundary: always stored, never cloned into
+  // a consumable "@r" version (its clone output is a dead byproduct).
+  std::set<std::string> fwd_interior;
+  for (std::size_t i = 0; i < bwd_begin; ++i) {
+    for (const auto& out : layer.ops()[i].outputs) {
+      if (out != "y") fwd_interior.insert(out);
+    }
+  }
+  const std::set<int> recompute(o.recompute_layers.begin(),
+                                o.recompute_layers.end());
+
+  DataflowGraph g;
+  const Shape ibj("ibj", {d.i, d.b, d.j});
+  if (o.vocab > 0) {
+    g.AddTensor("token_table", Shape("vi", {o.vocab, d.i}), true);
+    g.AddTensor("pos_table", Shape("ji", {d.j, d.i}), true);
+    if (o.include_backward) {
+      g.AddTensor("d_token_table", Shape("vi", {o.vocab, d.i}), true);
+      g.AddTensor("d_pos_table", Shape("ji", {d.j, d.i}), true);
+    }
+  }
+  for (int l = 0; l < o.num_layers; ++l) {
+    for (const auto& [name, t] : layer.tensors()) {
+      const std::string mapped = StackName(l, o, name);
+      if (!g.HasTensor(mapped)) g.AddTensor(mapped, t.shape, t.is_weight);
+    }
+  }
+  if (o.include_loss) {
+    g.AddTensor("target", ibj);
+    g.AddTensor("loss", Shape("s", {1}));
+    if (!g.HasTensor("d_y")) g.AddTensor("d_y", ibj);
+  }
+
+  // Clones a per-layer op into the stack. `as_clone` re-emits a forward op
+  // as a checkpoint-recompute twin; `in_backward` marks ops of the
+  // backward region, whose reads of a checkpointed layer's interior
+  // tensors retarget to the recomputed "@r" versions.
+  auto add_layer_op = [&](int l, const OpNode& op, bool as_clone,
+                          bool in_backward) {
+    const bool layer_ckpt = recompute.contains(l);
+    OpNode mapped = op;
+    mapped.name = StrFormat("L%d.%s%s", l, op.name.c_str(),
+                            as_clone ? "@r" : "");
+    mapped.inputs.clear();
+    for (const auto& in : op.inputs) {
+      std::string n = StackName(l, o, in);
+      if (fwd_interior.contains(in) &&
+          (as_clone || (layer_ckpt && in_backward))) {
+        n += "@r";
+      }
+      mapped.inputs.push_back(std::move(n));
+    }
+    mapped.outputs.clear();
+    for (const auto& out : op.outputs) {
+      std::string n = StackName(l, o, out) + (as_clone ? "@r" : "");
+      if (as_clone && !g.HasTensor(n)) {
+        g.AddTensor(n, layer.tensor(out).shape);
+      }
+      mapped.outputs.push_back(std::move(n));
+    }
+    mapped.saved_outputs.clear();
+    for (const auto& s : op.saved_outputs) {
+      mapped.saved_outputs.push_back(StackName(l, o, s) +
+                                     (as_clone ? "@r" : ""));
+    }
+    if (as_clone) {
+      mapped.recompute_of = StrFormat("L%d.%s", l, op.name.c_str());
+    }
+    g.AddOp(std::move(mapped));
+  };
+
+  // ---- Forward: embedding, then every layer bottom-up, then the loss.
+  if (o.vocab > 0) {
+    OpNode op;
+    op.name = "embed";
+    op.kind = OpKind::kEmbed;
+    op.inputs = {"token_table", "pos_table"};
+    op.outputs = {"x"};
+    op.independent_dims = {{'i', d.i}, {'b', d.b}, {'j', d.j}};
+    op.flop = FlopPerElement(OpKind::kEmbed) *
+              static_cast<double>(ibj.num_elements());
+    g.AddOp(std::move(op));
+  }
+  for (int l = 0; l < o.num_layers; ++l) {
+    for (std::size_t i = 0; i < bwd_begin; ++i) {
+      add_layer_op(l, layer.ops()[i], /*as_clone=*/false,
+                   /*in_backward=*/false);
+    }
+  }
+  if (o.include_loss) {
+    OpNode op;
+    op.name = "loss";
+    op.kind = OpKind::kMseLoss;
+    op.inputs = {StackName(o.num_layers - 1, o, "y"), "target"};
+    op.outputs = {"loss", "d_y"};
+    // Reduces over the full space: the scalar loss is a serial
+    // accumulation, which also bars fusion across the loss head.
+    op.reduction_dims = {{'i', d.i}, {'b', d.b}, {'j', d.j}};
+    op.flop = FlopPerElement(OpKind::kMseLoss) *
+              static_cast<double>(ibj.num_elements());
+    g.AddOp(std::move(op));
+  }
+
+  // ---- Backward: layers top-down (each checkpointed layer's recompute
+  // clones run directly before its backward ops), then the embedding
+  // table gradients.
+  if (o.include_backward) {
+    for (int l = o.num_layers - 1; l >= 0; --l) {
+      if (recompute.contains(l)) {
+        for (std::size_t i = 0; i < bwd_begin; ++i) {
+          add_layer_op(l, layer.ops()[i], /*as_clone=*/true,
+                       /*in_backward=*/false);
+        }
+      }
+      for (std::size_t i = bwd_begin; i < layer.ops().size(); ++i) {
+        add_layer_op(l, layer.ops()[i], /*as_clone=*/false,
+                     /*in_backward=*/true);
+      }
+    }
+    if (o.vocab > 0) {
+      OpNode op;
+      op.name = "embed dW";
+      op.kind = OpKind::kEmbedDW;
+      op.inputs = {StackName(0, o, "d_x")};
+      op.outputs = {"d_token_table", "d_pos_table"};
+      op.independent_dims = {{'i', d.i}};
+      op.reduction_dims = {{'b', d.b}, {'j', d.j}};
+      op.flop = FlopPerElement(OpKind::kEmbedDW) *
+                static_cast<double>(ibj.num_elements());
+      g.AddOp(std::move(op));
+    }
+  }
   return g;
 }
 

@@ -1,8 +1,10 @@
-// Builders for the paper's dataflow graphs: multi-head attention (Fig. 1)
-// and the full BERT encoder layer, forward + backward (Fig. 2 / Table III).
+// Builders for the paper's dataflow graphs: multi-head attention (Fig. 1),
+// the full BERT encoder layer, forward + backward (Fig. 2 / Table III),
+// and the whole-stack training-step graph (embedding -> N layers -> loss).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -73,5 +75,38 @@ DataflowGraph BuildMhaForward(const ModelDims& dims);
 DataflowGraph BuildEncoder(const ModelDims& dims,
                            AlgebraicFusion fusion = AlgebraicFusion::kQKV,
                            bool include_backward = true);
+
+/// Options for the whole-stack training-step graph (BuildEncoderStack).
+struct StackGraphOptions {
+  int num_layers = 1;
+  bool include_backward = true;
+  /// Non-zero folds the token+position embedding in front of layer 0: the
+  /// graph gains weight tables `token_table`/`pos_table` (and their
+  /// gradients), `x` becomes the embedding op's output, and the backward
+  /// pass ends with the table-gradient scatter (`embed dW`). Token ids are
+  /// runtime data, bound on the executor (GraphExecutorT::BindTokens).
+  std::int64_t vocab = 0;
+  /// Folds the MSE loss head after the top layer: the graph gains a
+  /// `target` input and a one-element fp32 `loss` output, and `d_y`
+  /// becomes the loss op's output instead of a graph input.
+  bool include_loss = false;
+  /// Layers whose interior saved activations are recomputed in the
+  /// backward pass instead of stored: the layer's forward operators are
+  /// cloned (containers suffixed "@r", OpNode::recompute_of set) directly
+  /// before its backward operators, which then read the "@r" versions, so
+  /// the originals die inside the forward pass and their bytes recycle.
+  /// Layer boundaries (`L<l>.y`) are always stored. Chosen under a byte
+  /// budget by the checkpoint planner (graph/checkpoint.hpp).
+  std::vector<int> recompute_layers;
+};
+
+/// One DataflowGraph for the entire training step: embedding (optional) ->
+/// `num_layers` encoder layers -> loss head (optional), forward+backward.
+/// Layer l's containers and operators are prefixed "L<l>."; layer l's `x`
+/// IS layer l-1's `y` (one container, no copies) and layer l's `d_y` IS
+/// layer l+1's `d_x`. Planning this graph as one arena lets cross-layer
+/// transients overlap -- only saved activations keep distinct bytes.
+DataflowGraph BuildEncoderStack(const ModelDims& dims,
+                                const StackGraphOptions& options);
 
 }  // namespace xflow::graph

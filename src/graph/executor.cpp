@@ -14,6 +14,7 @@
 #include "common/threadpool.hpp"
 #include "fusion/fuser.hpp"
 #include "ops/elementwise.hpp"
+#include "ops/embedding.hpp"
 #include "ops/fused.hpp"
 #include "ops/layernorm.hpp"
 #include "ops/softmax.hpp"
@@ -72,18 +73,7 @@ bool TaskSchedulerDefault() {
 
 template <typename T>
 bool GraphExecutorT<T>::IsBackwardKind(OpKind kind) {
-  switch (kind) {
-    case OpKind::kBiasDW:
-    case OpKind::kReLUDX:
-    case OpKind::kDropoutDX:
-    case OpKind::kResidualBwd:
-    case OpKind::kScaledSoftmaxDX:
-    case OpKind::kLayerNormDX:
-    case OpKind::kLayerNormDW:
-      return true;
-    default:
-      return false;
-  }
+  return IsBackwardOp(kind);
 }
 
 template <typename T>
@@ -145,7 +135,9 @@ void GraphExecutorT<T>::BuildSchedule() {
   const auto& ops = graph_.ops();
   backward_begin_ = static_cast<int>(ops.size());
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    if (IsBackwardKind(ops[i].kind)) {
+    // Checkpoint recompute clones precede the first backward-kind op of
+    // their layer; they belong to Backward(), not Forward().
+    if (IsBackwardKind(ops[i].kind) || !ops[i].recompute_of.empty()) {
       backward_begin_ = static_cast<int>(i);
       break;
     }
@@ -154,16 +146,28 @@ void GraphExecutorT<T>::BuildSchedule() {
   // Per-op attributes resolved once: parsed einsum specs, stacked-operand
   // substitution, and the dropout seed schedule (appearance order over
   // the dropout-bearing ops, matching the layer's per-site streams).
+  // Recompute clones reuse the original op's seed -- bitwise-identical
+  // masks -- and do not consume a schedule slot.
   std::size_t next_seed = 0;
+  std::map<std::string, std::uint64_t> seed_by_name;
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const OpNode& op = ops[i];
     const int idx = static_cast<int>(i);
     if (op.kind == OpKind::kScaledSoftmax || op.kind == OpKind::kDropout) {
-      require(next_seed < options_.dropout_seeds.size(),
-              StrFormat("no dropout seed for op '%s' (provide one per "
-                        "dropout-bearing op, in graph order)",
-                        op.name.c_str()));
-      dropout_seed_[idx] = options_.dropout_seeds[next_seed++];
+      if (!op.recompute_of.empty()) {
+        const auto it = seed_by_name.find(op.recompute_of);
+        require(it != seed_by_name.end(),
+                StrFormat("recompute clone '%s' precedes its original '%s'",
+                          op.name.c_str(), op.recompute_of.c_str()));
+        dropout_seed_[idx] = it->second;
+      } else {
+        require(next_seed < options_.dropout_seeds.size(),
+                StrFormat("no dropout seed for op '%s' (provide one per "
+                          "dropout-bearing op, in graph order)",
+                          op.name.c_str()));
+        dropout_seed_[idx] = options_.dropout_seeds[next_seed++];
+        seed_by_name[op.name] = dropout_seed_[idx];
+      }
     }
     if (op.kind != OpKind::kContraction) continue;
     require(!op.einsum.empty(),
@@ -362,6 +366,11 @@ void GraphExecutorT<T>::BindOutput(const std::string& name, Tensor<T>& tensor) {
   writable_[name] = true;
   forward_preflight_pending_ = true;
   backward_preflight_pending_ = true;
+}
+
+template <typename T>
+void GraphExecutorT<T>::BindTokens(const std::vector<std::int32_t>& tokens) {
+  tokens_.assign(tokens.begin(), tokens.end());
 }
 
 template <typename T>
@@ -776,6 +785,24 @@ void GraphExecutorT<T>::DispatchSingle(const OpNode& op, int op_index) {
                                StatView(op.inputs[2]), StatView(op.inputs[3]),
                                NormDim(op), MutableView(op.outputs[0]),
                                MutableView(op.outputs[1]));
+      return;
+    case OpKind::kEmbed:
+      require(!tokens_.empty(),
+              "kEmbed needs token ids -- call BindTokens before Forward");
+      ops::EmbeddingForwardKernel(View(op.inputs[0]), View(op.inputs[1]),
+                                  tokens_, MutableView(op.outputs[0]));
+      return;
+    case OpKind::kEmbedDW:
+      require(!tokens_.empty(),
+              "kEmbedDW needs token ids -- call BindTokens before Backward");
+      ops::EmbeddingBackwardKernel(View(op.inputs[0]), tokens_,
+                                   MutableView(op.outputs[0]),
+                                   MutableView(op.outputs[1]));
+      return;
+    case OpKind::kMseLoss:
+      last_loss_ = ops::MseLossKernel(View(op.inputs[0]), View(op.inputs[1]),
+                                      MutableView(op.outputs[1]));
+      StatView(op.outputs[0]).data()[0] = static_cast<float>(last_loss_);
       return;
   }
   require(false, StrFormat("no dispatch for op '%s'", op.name.c_str()));

@@ -112,6 +112,9 @@ class GraphExecutorT {
   /// Binds a writable external container (a weight gradient). Must
   /// already have its graph shape's element count.
   void BindOutput(const std::string& name, Tensor<T>& tensor);
+  /// Binds the token ids a kEmbed/kEmbedDW op reads (row-major [b][j]).
+  /// Copied: the caller's vector need not outlive the call.
+  void BindTokens(const std::vector<std::int32_t>& tokens);
 
   /// Executes the forward ops: [0, backward_begin).
   void Forward();
@@ -126,8 +129,16 @@ class GraphExecutorT {
   /// execute (Forward does not need the weight-gradient bindings yet).
   [[nodiscard]] VerifyReport VerifyBindings() const;
 
+  /// Scalar loss of the last kMseLoss dispatch (also written to the
+  /// graph's fp32 `loss` container). Meaningful after Backward() -- the
+  /// loss head is the last forward op, but graphs with a loss produce
+  /// d_y there, so Forward() already runs it.
+  [[nodiscard]] double last_loss() const { return last_loss_; }
+
   /// Index of the first backward op (== ops().size() for forward-only
-  /// graphs): the boundary between Forward() and Backward().
+  /// graphs): the boundary between Forward() and Backward(). Checkpoint
+  /// recompute clones count as backward -- they run directly before the
+  /// backward ops that read their outputs.
   [[nodiscard]] int backward_begin() const { return backward_begin_; }
   [[nodiscard]] const DataflowGraph& graph() const { return graph_; }
   [[nodiscard]] const ExecutorOptions& options() const { return options_; }
@@ -201,6 +212,8 @@ class GraphExecutorT {
   std::map<int, EinsumSpec> specs_;         // parsed once per contraction
   std::map<int, ContractionOperands> contraction_operands_;
   std::map<int, std::uint64_t> dropout_seed_;  // per dropout-bearing op
+  std::vector<std::int32_t> tokens_;           // kEmbed/kEmbedDW input
+  double last_loss_ = 0;                       // kMseLoss scalar result
   std::vector<Step> steps_;
   // Step-level dependency DAG (BuildStepDeps): edges always point from
   // the earlier schedule index to the later one, so step j runs only

@@ -38,6 +38,12 @@ struct OpNode {
   /// pass (e.g. dropout masks); they count toward data movement but carry no
   /// dataflow into the next forward operator.
   std::vector<std::string> saved_outputs;
+  /// Non-empty when this op is a checkpoint-recompute clone: the name of the
+  /// forward op it re-executes just before the backward pass. Clones reuse
+  /// the original's dropout seed (bitwise-identical masks) and any clone
+  /// output nothing consumes dies at its producer instead of living to the
+  /// end of the graph.
+  std::string recompute_of;
 
   [[nodiscard]] OpClass cls() const { return ClassOf(kind); }
 };

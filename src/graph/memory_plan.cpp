@@ -147,7 +147,31 @@ MemoryPlan PlanMemory(const DataflowGraph& graph,
     for (int c : consumers) {
       last = std::max(last, op_span[static_cast<std::size_t>(c)].second);
     }
-    if (producer < 0 || consumers.empty() || kept(name)) last = last_op;
+    if (producer < 0 || consumers.empty() || kept(name)) {
+      last = last_op;
+      // Exceptions to "no consumer -> live to end", both checkpoint
+      // artifacts (mirrored by the verifier's liveness re-derivation,
+      // graph/verify.cpp):
+      //  * an unread output of a recompute clone (e.g. the re-derived
+      //    layer output "L<l>.y@r" -- the backward pass reads the stored
+      //    original) is a byproduct of the clone kernel, not a result
+      //    anyone reads after the step: it dies with its producer;
+      //  * an original whose backward readers were retargeted to its "@r"
+      //    clone has no consumers left, but it is not a step output
+      //    either: it dies with its producer -- that early death is the
+      //    entire point of checkpointing. Stored layer boundaries
+      //    ("L<l>.y") are exempt: the top one IS the step output.
+      if (producer >= 0 && consumers.empty() && !kept(name)) {
+        const bool clone_byproduct =
+            !graph.ops()[static_cast<std::size_t>(producer)]
+                 .recompute_of.empty();
+        const bool recompute_dropped =
+            graph.HasTensor(name + "@r") && !name.ends_with(".y");
+        if (clone_byproduct || recompute_dropped) {
+          last = op_span[static_cast<std::size_t>(producer)].second;
+        }
+      }
+    }
     return std::pair<int, int>{first, std::max(first, last)};
   };
   // Accessor/writer sets feed the concurrency check below; these are the
@@ -254,13 +278,66 @@ MemoryPlan PlanMemory(const DataflowGraph& graph,
   // span-widened op indices, so two liveness-disjoint units can never
   // share a fused step; the remaining question is pure reachability.
   const OpReachability reach(graph);
+  // The executor's Forward()/Backward() call boundary is a hard
+  // synchronization point (recompute clones count as backward -- they run
+  // inside Backward()): accesses on opposite sides of it are ordered even
+  // without a graph path. Without this, a checkpointed layer's recompute
+  // clones -- which read only graph inputs and weights, so no path links
+  // them to the layer's original forward ops -- could never reuse the
+  // originals' bytes, defeating checkpointing. Mirrored by the verifier's
+  // plan/concurrent-overlap rule (graph/verify.cpp).
+  int bwd_begin = static_cast<int>(graph.ops().size());
+  for (std::size_t i = 0; i < graph.ops().size(); ++i) {
+    if (IsBackwardOp(graph.ops()[i].kind) ||
+        !graph.ops()[i].recompute_of.empty()) {
+      bwd_begin = static_cast<int>(i);
+      break;
+    }
+  }
   // Every access to `early` must be a graph predecessor of every *write*
-  // to `late`; reads of `late` are then ordered transitively through
-  // their member's producer edge. (a == b cannot happen for
-  // liveness-disjoint units -- an op touching both puts both intervals
-  // across itself -- but is rejected defensively.)
+  // to `late` (or separated from it by the pass barrier); reads of `late`
+  // are then ordered transitively through their member's producer edge.
+  // (a == b cannot happen for liveness-disjoint units -- an op touching
+  // both puts both intervals across itself -- but is rejected
+  // defensively.)
+  // A recompute-clone unit: everything it writes is produced by a
+  // checkpoint-recompute twin. Clones read only graph inputs and weights,
+  // so no graph path orders them against the subgraphs whose bytes they
+  // should reuse (another layer's backward temporaries) -- yet that reuse
+  // is exactly what makes checkpointing pay. It is still race-free: the
+  // executor's byte-span safety net (BuildStepDeps) serializes
+  // byte-sharing steps in schedule order, so for clone-involved pairs
+  // kernel-level schedule order alone licenses reuse. The verifier
+  // mirrors this by exempting clone-involved pairs from
+  // plan/concurrent-overlap (their liveness is still checked).
+  auto clone_unit = [&](const Unit& u) {
+    for (int w : u.writers) {
+      if (graph.ops()[static_cast<std::size_t>(w)].recompute_of.empty()) {
+        return false;
+      }
+    }
+    return !u.writers.empty();
+  };
   auto ordered_before = [&](const Unit& early, const Unit& late) {
     if (early.ops.empty() || late.writers.empty()) return false;
+    if (early.ops.back() < bwd_begin && late.writers.front() >= bwd_begin) {
+      return true;  // accessor sets are sorted: all-forward vs all-backward
+    }
+    if (clone_unit(early) || clone_unit(late)) {
+      // Kernel-level schedule order: every fused kernel touching `early`
+      // must fully precede every kernel writing `late`.
+      int early_end = -1;
+      for (int a : early.ops) {
+        early_end =
+            std::max(early_end, op_span[static_cast<std::size_t>(a)].second);
+      }
+      int late_begin = static_cast<int>(graph.ops().size());
+      for (int b : late.writers) {
+        late_begin =
+            std::min(late_begin, op_span[static_cast<std::size_t>(b)].first);
+      }
+      if (early_end < late_begin) return true;
+    }
     for (int a : early.ops) {
       for (int b : late.writers) {
         if (a == b || !reach.Reaches(a, b)) return false;

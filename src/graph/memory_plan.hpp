@@ -100,6 +100,10 @@ class MemoryPlan {
   /// (aligned, groups counted member-by-member) -- the owning executor's
   /// footprint and the baseline of the reported reduction.
   [[nodiscard]] std::size_t naive_bytes() const { return naive_bytes_; }
+  /// Report-style aliases of peak_bytes()/naive_bytes(), the pair every
+  /// memory comparison quotes (e.g. whole-stack plan vs per-layer sum).
+  [[nodiscard]] std::size_t PeakBytes() const { return peak_bytes_; }
+  [[nodiscard]] std::size_t NaiveSumBytes() const { return naive_bytes_; }
   /// 1 - peak/naive, in [0, 1).
   [[nodiscard]] double Reduction() const;
 

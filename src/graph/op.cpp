@@ -10,16 +10,19 @@ OpClass ClassOf(OpKind kind) {
       return OpClass::kContraction;
     case OpKind::kScaledSoftmax:
     case OpKind::kLayerNorm:
+    case OpKind::kMseLoss:
     case OpKind::kBiasDW:
     case OpKind::kScaledSoftmaxDX:
     case OpKind::kLayerNormDX:
     case OpKind::kLayerNormDW:
+    case OpKind::kEmbedDW:
       return OpClass::kStatNorm;
     case OpKind::kBias:
     case OpKind::kReLU:
     case OpKind::kDropout:
     case OpKind::kResidual:
     case OpKind::kScale:
+    case OpKind::kEmbed:
     case OpKind::kReLUDX:
     case OpKind::kDropoutDX:
     case OpKind::kResidualBwd:
@@ -27,6 +30,32 @@ OpClass ClassOf(OpKind kind) {
   }
   check(false, "unknown OpKind");
   return OpClass::kElementwise;
+}
+
+bool IsBackwardOp(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBiasDW:
+    case OpKind::kReLUDX:
+    case OpKind::kDropoutDX:
+    case OpKind::kResidualBwd:
+    case OpKind::kScaledSoftmaxDX:
+    case OpKind::kLayerNormDX:
+    case OpKind::kLayerNormDW:
+    case OpKind::kEmbedDW:
+      return true;
+    case OpKind::kContraction:
+    case OpKind::kBias:
+    case OpKind::kReLU:
+    case OpKind::kDropout:
+    case OpKind::kResidual:
+    case OpKind::kScale:
+    case OpKind::kScaledSoftmax:
+    case OpKind::kLayerNorm:
+    case OpKind::kEmbed:
+    case OpKind::kMseLoss:
+      return false;
+  }
+  return false;
 }
 
 std::string ToString(OpClass cls) {
@@ -63,6 +92,8 @@ std::string ToString(OpKind kind) {
     case OpKind::kScale: return "scale";
     case OpKind::kScaledSoftmax: return "scaled softmax";
     case OpKind::kLayerNorm: return "layernorm";
+    case OpKind::kEmbed: return "embedding";
+    case OpKind::kMseLoss: return "mse loss";
     case OpKind::kBiasDW: return "bias dW";
     case OpKind::kReLUDX: return "relu dX";
     case OpKind::kDropoutDX: return "dropout dX";
@@ -70,6 +101,7 @@ std::string ToString(OpKind kind) {
     case OpKind::kScaledSoftmaxDX: return "scaled softmax dX";
     case OpKind::kLayerNormDX: return "layernorm dX";
     case OpKind::kLayerNormDW: return "layernorm dW";
+    case OpKind::kEmbedDW: return "embedding dW";
   }
   return "?";
 }
@@ -83,9 +115,11 @@ double FlopPerElement(OpKind kind) {
     case OpKind::kDropout:
     case OpKind::kResidual:
     case OpKind::kScale:
+    case OpKind::kEmbed:      // one table add per output element
     case OpKind::kBiasDW:
     case OpKind::kDropoutDX:
     case OpKind::kResidualBwd:
+    case OpKind::kEmbedDW:    // one scatter-add per gradient element
       return 1;
     case OpKind::kReLU:
     case OpKind::kReLUDX:
@@ -100,6 +134,8 @@ double FlopPerElement(OpKind kind) {
       return 9;
     case OpKind::kLayerNormDW:
       return 4;
+    case OpKind::kMseLoss:
+      return 3;  // diff, square-accumulate, gradient scale
   }
   return 0;
 }

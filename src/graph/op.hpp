@@ -21,6 +21,8 @@ enum class OpKind {
   kScale,          // y = alpha * x
   kScaledSoftmax,  // softmax(alpha * x) over the key dim + attention dropout
   kLayerNorm,      // per-(b,j) normalization over the embedding dim
+  kEmbed,          // x[i,b,j] = token_table[ids[b,j], i] + pos_table[j, i]
+  kMseLoss,        // loss = mean((y - target)^2); also emits d_y
   // Backward.
   kBiasDW,            // db = sum over independent dims of dy
   kReLUDX,            // dx = dy * (y > 0)
@@ -29,10 +31,16 @@ enum class OpKind {
   kScaledSoftmaxDX,   // backward of scaled softmax + dropout
   kLayerNormDX,       // gradient w.r.t. layernorm input
   kLayerNormDW,       // gradients w.r.t. layernorm scale/bias
+  kEmbedDW,           // scatter-add of d_x into both embedding tables
 };
 
 /// Class of each kind (border style of the node in the paper's figures).
 OpClass ClassOf(OpKind kind);
+
+/// True for gradient-computing kinds. The first backward-kind op splits a
+/// training-step graph into the forward and backward regions (the loss op
+/// is a forward op: it runs at the end of Forward and emits d_y).
+bool IsBackwardOp(OpKind kind);
 
 /// Display names, e.g. "tensor contraction".
 std::string ToString(OpClass cls);

@@ -125,6 +125,8 @@ bool DeterministicReduction(OpKind kind) {
     case OpKind::kLayerNormDX:
     case OpKind::kLayerNormDW:
     case OpKind::kBiasDW:
+    case OpKind::kMseLoss:   // serial accumulation, one pass
+    case OpKind::kEmbedDW:   // serial scatter-add over fp32 accumulators
       return true;
     default:
       return false;
@@ -217,6 +219,19 @@ bool CheckArity(const OpNode& op, int op_index, IssueList& issues,
              "layernorm dW wants (dy, x, mean, rstd) -> (dw, db)");
       expect(!op.independent_dims.empty(),
              "layernorm dW needs its norm dim among independent dims");
+      break;
+    case OpKind::kEmbed:
+      expect(in == 2 && out == 1,
+             "embedding wants (token_table, pos_table) -> x");
+      break;
+    case OpKind::kEmbedDW:
+      expect(in == 1 && out == 2,
+             "embedding dW wants dx -> (d_token_table, d_pos_table)");
+      break;
+    case OpKind::kMseLoss:
+      expect(in == 2 && out == 2, "MSE loss wants (y, target) -> (loss, dy)");
+      expect(!op.reduction_dims.empty(),
+             "MSE loss reduces over the whole space");
       break;
   }
   for (const auto& saved : op.saved_outputs) {
@@ -487,6 +502,44 @@ void CheckOpShapes(const DataflowGraph& g, const OpNode& op,
       expect_norm_vector(x, r, op.outputs[1]);
       return;
     }
+    case OpKind::kEmbed: {
+      // (token_table [v,i], pos_table) -> x: the positional table must
+      // broadcast over x, and the tables' embedding dim must match x's.
+      const Shape& x = shape_of(op.outputs[0]);
+      expect_subset("shape/elementwise", x, op.inputs[1]);
+      const Shape& tok = shape_of(op.inputs[0]);
+      if (!tok.has('i') || !x.has('i') ||
+          tok.extent('i') != x.extent('i')) {
+        Error(issues, "shape/elementwise", op.name, op.inputs[0],
+              StrFormat("token table %s does not share the embedding dim "
+                        "'i' of %s",
+                        ShapeStr(tok).c_str(), ShapeStr(x).c_str()));
+      }
+      return;
+    }
+    case OpKind::kEmbedDW: {
+      const Shape& dx = shape_of(op.inputs[0]);
+      expect_subset("shape/elementwise", dx, op.outputs[1]);
+      const Shape& tok = shape_of(op.outputs[0]);
+      if (!tok.has('i') || !dx.has('i') ||
+          tok.extent('i') != dx.extent('i')) {
+        Error(issues, "shape/elementwise", op.name, op.outputs[0],
+              StrFormat("token-table gradient %s does not share the "
+                        "embedding dim 'i' of %s",
+                        ShapeStr(tok).c_str(), ShapeStr(dx).c_str()));
+      }
+      return;
+    }
+    case OpKind::kMseLoss: {
+      expect_same("shape/elementwise", op.inputs[0], op.inputs[1]);
+      expect_same("shape/elementwise", op.inputs[0], op.outputs[1]);
+      if (shape_of(op.outputs[0]).num_elements() != 1) {
+        Error(issues, "shape/elementwise", op.name, op.outputs[0],
+              StrFormat("scalar loss must hold one element, not %s",
+                        ShapeStr(shape_of(op.outputs[0])).c_str()));
+      }
+      return;
+    }
   }
 }
 
@@ -694,7 +747,23 @@ void CheckPlan(const DataflowGraph& g, const MemoryPlan& plan,
       last = std::max(
           last, expanded ? op_span[static_cast<std::size_t>(c)].second : c);
     }
-    if (producer < 0 || consumers.empty() || kept(name)) last = last_op;
+    if (producer < 0 || consumers.empty() || kept(name)) {
+      last = last_op;
+      // Mirrors the planner's checkpoint exceptions: an unread output of a
+      // recompute clone, and an original whose backward readers were
+      // retargeted to its "@r" clone (stored ".y" boundaries exempt), are
+      // not step outputs -- both die with their producer.
+      if (producer >= 0 && consumers.empty() && !kept(name)) {
+        const bool clone_byproduct =
+            !g.ops()[static_cast<std::size_t>(producer)].recompute_of.empty();
+        const bool recompute_dropped =
+            g.HasTensor(name + "@r") && !name.ends_with(".y");
+        if (clone_byproduct || recompute_dropped) {
+          last = expanded ? op_span[static_cast<std::size_t>(producer)].second
+                          : producer;
+        }
+      }
+    }
     return std::pair<int, int>{first, std::max(first, last)};
   };
 
@@ -830,10 +899,30 @@ void CheckPlan(const DataflowGraph& g, const MemoryPlan& plan,
   }
 
   // ---- Unit-level checks: group tiling, liveness, alignment, overlap.
+  // Saved activations -- containers a forward op produces and a backward
+  // op (or recompute clone) reads -- are what whole-stack planning must
+  // keep distinct across layers; byte sharing that involves one is
+  // reported as plan/cross-layer-liveness instead of plain plan/overlap.
+  int bwd_begin = static_cast<int>(g.ops().size());
+  for (std::size_t i = 0; i < g.ops().size(); ++i) {
+    if (IsBackwardOp(g.ops()[i].kind) || !g.ops()[i].recompute_of.empty()) {
+      bwd_begin = static_cast<int>(i);
+      break;
+    }
+  }
+  auto saved_activation = [&](const std::string& name) {
+    const int producer = g.ProducerOf(name);
+    if (producer < 0 || producer >= bwd_begin) return false;
+    for (int c : g.ConsumersOf(name)) {
+      if (c >= bwd_begin) return true;
+    }
+    return false;
+  };
   struct UnitExtent {
     std::string name;
     std::size_t begin = 0, end = 0;
     int first = 0, last = 0;
+    bool saved = false;
   };
   std::vector<UnitExtent> extents;
   for (const VUnit& u : units) {
@@ -921,8 +1010,12 @@ void CheckPlan(const DataflowGraph& g, const MemoryPlan& plan,
             StrFormat("offset %zu is not a multiple of %zu", rep->offset,
                       alignment));
     }
+    bool saved = false;
+    for (const TensorPlacement* m : u.members) {
+      saved = saved || saved_activation(m->name);
+    }
     extents.push_back({u.name, rep->offset, rep->offset + rep->bytes,
-                       plain_first, plain_last});
+                       plain_first, plain_last, saved});
   }
   if (opt != nullptr) {
     for (const auto& [name, t] : g.tensors()) {
@@ -939,10 +1032,21 @@ void CheckPlan(const DataflowGraph& g, const MemoryPlan& plan,
       const UnitExtent& b = extents[j];
       if (a.begin >= b.end || b.begin >= a.end) continue;
       if (a.first <= b.last && b.first <= a.last) {
-        Error(issues, "plan/overlap", "", a.name,
-              StrFormat("shares bytes with '%s' while both are live "
-                        "([%d, %d] vs [%d, %d])",
-                        b.name.c_str(), a.first, a.last, b.first, b.last));
+        if (a.saved || b.saved) {
+          const UnitExtent& s = a.saved ? a : b;
+          const UnitExtent& o = a.saved ? b : a;
+          Error(issues, "plan/cross-layer-liveness", "", s.name,
+                StrFormat("saved activation shares bytes with '%s' inside "
+                          "its store-until-backward window ([%d, %d] vs "
+                          "[%d, %d]) -- the backward pass would read "
+                          "clobbered data",
+                          o.name.c_str(), s.first, s.last, o.first, o.last));
+        } else {
+          Error(issues, "plan/overlap", "", a.name,
+                StrFormat("shares bytes with '%s' while both are live "
+                          "([%d, %d] vs [%d, %d])",
+                          b.name.c_str(), a.first, a.last, b.first, b.last));
+        }
       }
     }
   }
@@ -999,12 +1103,30 @@ void CheckPlan(const DataflowGraph& g, const MemoryPlan& plan,
             y.p->offset >= x.p->offset + x.p->bytes) {
           continue;
         }
+        // Clone-involved byte sharing is exempt: recompute clones have no
+        // graph path to the subgraphs whose bytes they reuse, but the
+        // executor's byte-span safety net (BuildStepDeps) serializes
+        // byte-sharing steps in schedule order, and the liveness rules
+        // above already rejected any window overlap. Mirrors the
+        // planner's clone relaxation (graph/memory_plan.cpp).
+        const auto clone_made = [&](const Touched& t) {
+          return t.producer >= 0 &&
+                 !g.ops()[static_cast<std::size_t>(t.producer)]
+                      .recompute_of.empty();
+        };
+        if (clone_made(x) || clone_made(y)) continue;
         bool reported = false;
         for (int p : x.accessors) {
           for (int q : y.accessors) {
             if (p == q) continue;
             if (p != x.producer && q != y.producer) continue;  // both read
             if (reaches(p, q) || reaches(q, p)) continue;
+            // The Forward()/Backward() call boundary is a hard
+            // synchronization point: accesses on opposite sides of it can
+            // never run concurrently even without a graph path (recompute
+            // clones count as backward). The planner's concurrency check
+            // relies on the same barrier (graph/memory_plan.cpp).
+            if ((p < bwd_begin) != (q < bwd_begin)) continue;
             Error(issues, "plan/concurrent-overlap",
                   g.ops()[static_cast<std::size_t>(p)].name, x.p->name,
                   StrFormat("shares bytes with '%s', but the graph has no "

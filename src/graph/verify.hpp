@@ -27,6 +27,12 @@
 //   plan/overlap            byte ranges only shared across disjoint per-op
 //                           live intervals (span-induced concurrency is
 //                           plan/fused-atomic's job)
+//   plan/cross-layer-liveness  the overlap involves a saved activation (a
+//                           forward output the backward pass reads): byte
+//                           sharing inside its store-until-backward window
+//                           would hand the backward pass clobbered data --
+//                           the failure mode whole-stack planning must
+//                           never produce
 //   plan/concurrent-overlap byte-sharing containers must have every access
 //                           to one ordered by graph paths against every
 //                           write to the other -- the task scheduler runs

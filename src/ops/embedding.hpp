@@ -1,0 +1,96 @@
+// Embedding lookup and MSE-loss kernels, shared between the hand-wired
+// transformer layers (transformer/embedding.cpp, transformer/training.cpp)
+// and the graph executor's kEmbed/kEmbedDW/kMseLoss dispatch. One loop nest
+// per operation keeps the two paths bitwise identical by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/tensor.hpp"
+
+namespace xflow::ops {
+
+/// x[i,b,j] = token_table[tokens[b,j], i] + pos_table[j, i], summed in
+/// fp32. `tokens` is row-major [b][j]; ids must lie in [0, vocab).
+template <typename T>
+void EmbeddingForwardKernel(const Tensor<T>& token_table,
+                            const Tensor<T>& pos_table,
+                            const std::vector<std::int32_t>& tokens,
+                            Tensor<T>& x) {
+  const std::int64_t bn = x.extent('b');
+  const std::int64_t jn = x.extent('j');
+  const std::int64_t in = x.extent('i');
+  const std::int64_t vocab = token_table.extent('v');
+  require(static_cast<std::int64_t>(tokens.size()) == bn * jn,
+          "token count must equal batch * sequence length");
+  for (std::int64_t b = 0; b < bn; ++b) {
+    for (std::int64_t j = 0; j < jn; ++j) {
+      const auto id = tokens[static_cast<std::size_t>(b * jn + j)];
+      require(id >= 0 && id < vocab, "token id out of range");
+      for (std::int64_t i = 0; i < in; ++i) {
+        const float tok = float(token_table.at({{'v', id}, {'i', i}}));
+        const float pos = float(pos_table.at({{'j', j}, {'i', i}}));
+        x.at({{'i', i}, {'b', b}, {'j', j}}) = T(tok + pos);
+      }
+    }
+  }
+}
+
+/// Scatter-add table gradients with fp32 accumulation; overwrites both
+/// gradient tensors.
+template <typename T>
+void EmbeddingBackwardKernel(const Tensor<T>& d_x,
+                             const std::vector<std::int32_t>& tokens,
+                             Tensor<T>& d_token_table, Tensor<T>& d_pos_table) {
+  const std::int64_t bn = d_x.extent('b');
+  const std::int64_t jn = d_x.extent('j');
+  const std::int64_t in = d_x.extent('i');
+  require(static_cast<std::int64_t>(tokens.size()) == bn * jn,
+          "token count must equal batch * sequence length");
+  std::vector<float> acc_tok(static_cast<std::size_t>(d_token_table.size()),
+                             0.0f);
+  std::vector<float> acc_pos(static_cast<std::size_t>(d_pos_table.size()),
+                             0.0f);
+  for (std::int64_t b = 0; b < bn; ++b) {
+    for (std::int64_t j = 0; j < jn; ++j) {
+      const auto id = tokens[static_cast<std::size_t>(b * jn + j)];
+      for (std::int64_t i = 0; i < in; ++i) {
+        const float g = float(d_x.at({{'i', i}, {'b', b}, {'j', j}}));
+        acc_tok[static_cast<std::size_t>(
+            d_token_table.OffsetOf(std::array{std::pair{'v', std::int64_t(id)},
+                                              std::pair{'i', i}}))] += g;
+        acc_pos[static_cast<std::size_t>(d_pos_table.OffsetOf(
+            std::array{std::pair{'j', j}, std::pair{'i', i}}))] += g;
+      }
+    }
+  }
+  for (std::int64_t e = 0; e < d_token_table.size(); ++e) {
+    d_token_table.data()[e] = T(acc_tok[static_cast<std::size_t>(e)]);
+  }
+  for (std::int64_t e = 0; e < d_pos_table.size(); ++e) {
+    d_pos_table.data()[e] = T(acc_pos[static_cast<std::size_t>(e)]);
+  }
+}
+
+/// Mean-squared error over all elements: fills d_y = 2 (y - target) / N
+/// and returns the scalar loss (accumulated in double).
+template <typename T>
+double MseLossKernel(const Tensor<T>& y, const Tensor<T>& target,
+                     Tensor<T>& d_y) {
+  require(y.size() == target.size() && y.size() == d_y.size(),
+          "loss tensors must match in size");
+  const double n = static_cast<double>(y.size());
+  double loss = 0;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    const float diff = float(y.data()[i]) - float(target.data()[i]);
+    loss += static_cast<double>(diff) * diff;
+    d_y.data()[i] = T(2.0f * diff / static_cast<float>(n));
+  }
+  return loss / n;
+}
+
+}  // namespace xflow::ops

@@ -44,6 +44,9 @@ double FrameworkBandwidthFrac(graph::OpKind kind) {
     case OpKind::kScaledSoftmaxDX: return 0.38;
     case OpKind::kLayerNormDX: return 0.36;
     case OpKind::kLayerNormDW: return 0.10;
+    case OpKind::kEmbed: return 0.55;    // table gather
+    case OpKind::kEmbedDW: return 0.40;  // scatter-add
+    case OpKind::kMseLoss: return 0.70;  // streaming reduction
   }
   return 0.5;
 }

@@ -1,5 +1,8 @@
 #include "transformer/arena.hpp"
 
+#include <string_view>
+
+#include "fusion/fuser.hpp"
 #include "graph/builder.hpp"
 
 namespace xflow::transformer {
@@ -65,6 +68,82 @@ LayerArenaT<T> MakeMhaArena(const MhaConfig& config) {
   return LayerArenaT<T>(graph, std::move(options));
 }
 
+template <typename T>
+graph::PlanOptions StackPlanOptions(const graph::DataflowGraph& graph) {
+  graph::PlanOptions options;
+  options.default_elem_bytes = sizeof(T);
+  options.elem_bytes = [](const graph::TensorNode& t) -> std::size_t {
+    // Layernorm statistics and the loss scalar stay fp32 regardless of the
+    // activation type; the "@r" recompute-clone suffix must not hide the
+    // statistic suffix.
+    std::string_view name = t.name;
+    if (name.ends_with("@r")) name.remove_suffix(2);
+    if (name.ends_with("_mean") || name.ends_with("_rstd") ||
+        name == "loss") {
+      return sizeof(float);
+    }
+    return sizeof(T);
+  };
+  // Per-layer stacked Q/K/V projections, plus the recompute clones of
+  // checkpointed layers (the clone contraction writes the "@r" stack
+  // exactly as the original wrote the stored one).
+  for (int l = 0; graph.HasTensor(StrFormat("L%d.qq", l)); ++l) {
+    const std::string p = StrFormat("L%d.", l);
+    options.groups.push_back(
+        {p + "qkv_proj", {p + "qq", p + "kk", p + "vv"}});
+    options.groups.push_back(
+        {p + "d_qkv_proj", {p + "d_qq", p + "d_kk", p + "d_vv"}});
+    if (graph.HasTensor(p + "qq@r")) {
+      options.groups.push_back(
+          {p + "qkv_proj@r", {p + "qq@r", p + "kk@r", p + "vv@r"}});
+    }
+  }
+  // Backward takes d_y by reference when it is a graph input; with a loss
+  // head the graph produces d_y itself and it must be planned. The loss
+  // target is always caller-provided.
+  if (graph.HasTensor("d_y") && graph.ProducerOf("d_y") < 0) {
+    options.exclude.push_back("d_y");
+  }
+  if (graph.HasTensor("target")) options.exclude.push_back("target");
+  // Derive the fused spans from the fusion pass itself instead of a
+  // hand-maintained list: every recognized multi-op kernel the executor
+  // will launch (determinism/fused-spans requires declared == launched)
+  // reads its span's inputs while writing its outputs, so the planner must
+  // not recycle one into the other. This covers the cross-layer EBSB merge
+  // and the checkpoint-clone chains automatically.
+  const fusion::FusionResult fused = fusion::FuseMaximally(graph);
+  const auto recognized = [](std::string_view name) {
+    return name == "DRLN" || name == "BDRLN" || name == "BRD" ||
+           name == "BLNRD" || name == "BDRB" || name == "EBSB";
+  };
+  for (const fusion::FusedKernel& kernel : fused.kernels) {
+    if (kernel.op_indices.size() < 2 || !recognized(kernel.name)) continue;
+    std::vector<std::string> span;
+    span.reserve(kernel.op_indices.size());
+    for (const int idx : kernel.op_indices) {
+      span.push_back(graph.ops()[static_cast<std::size_t>(idx)].name);
+    }
+    options.fused_spans.push_back(std::move(span));
+  }
+  return options;
+}
+
+template <typename T>
+StackArenaT<T> MakeStackArena(const EncoderConfig& config,
+                              graph::StackGraphOptions options,
+                              std::size_t memory_budget_bytes) {
+  if (memory_budget_bytes > 0) {
+    return StackArenaT<T>(graph::PlanCheckpointedStack(
+        config.dims, std::move(options),
+        [](const graph::DataflowGraph& g) { return StackPlanOptions<T>(g); },
+        memory_budget_bytes));
+  }
+  auto graph = graph::BuildEncoderStack(config.dims, options);
+  auto plan_options = StackPlanOptions<T>(graph);
+  return StackArenaT<T>(std::move(graph), std::move(plan_options),
+                        std::move(options.recompute_layers));
+}
+
 template class LayerArenaT<Half>;
 template class LayerArenaT<float>;
 template graph::PlanOptions EncoderPlanOptions<Half>();
@@ -73,5 +152,16 @@ template LayerArenaT<Half> MakeEncoderArena<Half>(const EncoderConfig&);
 template LayerArenaT<float> MakeEncoderArena<float>(const EncoderConfig&);
 template LayerArenaT<Half> MakeMhaArena<Half>(const MhaConfig&);
 template LayerArenaT<float> MakeMhaArena<float>(const MhaConfig&);
+template graph::PlanOptions StackPlanOptions<Half>(const graph::DataflowGraph&);
+template graph::PlanOptions StackPlanOptions<float>(
+    const graph::DataflowGraph&);
+template class StackArenaT<Half>;
+template class StackArenaT<float>;
+template StackArenaT<Half> MakeStackArena<Half>(const EncoderConfig&,
+                                                graph::StackGraphOptions,
+                                                std::size_t);
+template StackArenaT<float> MakeStackArena<float>(const EncoderConfig&,
+                                                  graph::StackGraphOptions,
+                                                  std::size_t);
 
 }  // namespace xflow::transformer

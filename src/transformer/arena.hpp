@@ -6,11 +6,13 @@
 // of the naive sum-of-tensors.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <utility>
 
 #include "common/strings.hpp"
+#include "graph/checkpoint.hpp"
 #include "graph/memory_plan.hpp"
 #include "tensor/workspace.hpp"
 #include "transformer/encoder.hpp"
@@ -90,6 +92,72 @@ LayerArenaT<T> MakeEncoderArena(const EncoderConfig& config);
 template <typename T>
 LayerArenaT<T> MakeMhaArena(const MhaConfig& config);
 
+/// Plan options for a whole-stack graph (graph::BuildEncoderStack):
+/// per-layer "L<l>." Q/K/V groups (recompute "@r" clones included), element
+/// sizes that see through the "@r" suffix (fp32 layernorm statistics and
+/// loss scalar), and fused spans derived from the fusion pass itself so
+/// every recognized multi-op kernel -- cross-layer EBSB merges and
+/// checkpoint-clone chains included -- is planned as one atomic span.
+template <typename T>
+graph::PlanOptions StackPlanOptions(const graph::DataflowGraph& graph);
+
+/// One slab for an entire training step: the whole-stack graph, its plan,
+/// and the checkpoint decisions that shaped it. Unlike per-layer arenas
+/// (one slab per layer), every layer's activations and gradients live in
+/// this single liveness-planned workspace, so transients of different
+/// layers overlap whenever their store-until-backward windows permit.
+template <typename T>
+class StackArenaT {
+ public:
+  StackArenaT(graph::DataflowGraph graph, graph::PlanOptions options,
+              std::vector<int> recompute_layers = {})
+      : graph_(std::move(graph)),
+        arena_(graph_, std::move(options)),
+        recompute_layers_(std::move(recompute_layers)) {
+    std::sort(recompute_layers_.begin(), recompute_layers_.end());
+  }
+  /// Adopts a checkpoint-aware plan (graph/checkpoint.hpp).
+  explicit StackArenaT(graph::CheckpointedStackPlan plan)
+      : graph_(std::move(plan.graph)),
+        arena_(std::move(plan.plan)),
+        recompute_layers_(std::move(plan.recompute_layers)),
+        decisions_(std::move(plan.decisions)),
+        recompute_seconds_(plan.recompute_seconds) {}
+
+  [[nodiscard]] const graph::DataflowGraph& graph() const { return graph_; }
+  [[nodiscard]] LayerArenaT<T>& arena() { return arena_; }
+  [[nodiscard]] const graph::MemoryPlan& plan() const { return arena_.plan(); }
+  [[nodiscard]] Workspace& workspace() { return arena_.workspace(); }
+  /// Layers whose forward re-executes inside backward (sorted ascending);
+  /// empty when nothing is checkpointed.
+  [[nodiscard]] const std::vector<int>& recompute_layers() const {
+    return recompute_layers_;
+  }
+  [[nodiscard]] const std::vector<graph::ActivationDecision>& decisions()
+      const {
+    return decisions_;
+  }
+  /// Roofline estimate of the extra re-execution per step (seconds).
+  [[nodiscard]] double recompute_seconds() const { return recompute_seconds_; }
+
+ private:
+  graph::DataflowGraph graph_;
+  LayerArenaT<T> arena_;
+  std::vector<int> recompute_layers_;
+  std::vector<graph::ActivationDecision> decisions_;
+  double recompute_seconds_ = 0;
+};
+
+/// Whole-stack arena for EncoderStackT's graph-executor path. With
+/// `memory_budget_bytes` > 0 the plan is checkpoint-aware: layers are
+/// greedily marked for recompute until the planned peak fits the budget
+/// (graph::PlanCheckpointedStack). `options.recompute_layers` is honored
+/// as-is when the budget is 0 and overwritten by the planner otherwise.
+template <typename T>
+StackArenaT<T> MakeStackArena(const EncoderConfig& config,
+                              graph::StackGraphOptions options,
+                              std::size_t memory_budget_bytes = 0);
+
 extern template class LayerArenaT<Half>;
 extern template class LayerArenaT<float>;
 extern template graph::PlanOptions EncoderPlanOptions<Half>();
@@ -99,5 +167,15 @@ extern template LayerArenaT<float> MakeEncoderArena<float>(
     const EncoderConfig&);
 extern template LayerArenaT<Half> MakeMhaArena<Half>(const MhaConfig&);
 extern template LayerArenaT<float> MakeMhaArena<float>(const MhaConfig&);
+extern template graph::PlanOptions StackPlanOptions<Half>(
+    const graph::DataflowGraph&);
+extern template graph::PlanOptions StackPlanOptions<float>(
+    const graph::DataflowGraph&);
+extern template class StackArenaT<Half>;
+extern template class StackArenaT<float>;
+extern template StackArenaT<Half> MakeStackArena<Half>(
+    const EncoderConfig&, graph::StackGraphOptions, std::size_t);
+extern template StackArenaT<float> MakeStackArena<float>(
+    const EncoderConfig&, graph::StackGraphOptions, std::size_t);
 
 }  // namespace xflow::transformer

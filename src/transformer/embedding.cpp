@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "ops/embedding.hpp"
 #include "tensor/einsum.hpp"
 
 namespace xflow::transformer {
@@ -23,22 +24,8 @@ EmbeddingT<T>::EmbeddingT(std::int64_t vocab, const graph::ModelDims& dims,
 
 template <typename T>
 Tensor<T> EmbeddingT<T>::Forward(const TokenIds& tokens) const {
-  require(static_cast<std::int64_t>(tokens.size()) == dims_.b * dims_.j,
-          "token count must equal batch * sequence length");
   Tensor<T> x(Shape("ibj", {dims_.i, dims_.b, dims_.j}));
-  for (std::int64_t b = 0; b < dims_.b; ++b) {
-    for (std::int64_t j = 0; j < dims_.j; ++j) {
-      const auto id =
-          tokens[static_cast<std::size_t>(b * dims_.j + j)];
-      require(id >= 0 && id < vocab(), "token id out of range");
-      for (std::int64_t i = 0; i < dims_.i; ++i) {
-        const float tok =
-            float(token_table_.at({{'v', id}, {'i', i}}));
-        const float pos = float(pos_table_.at({{'j', j}, {'i', i}}));
-        x.at({{'i', i}, {'b', b}, {'j', j}}) = T(tok + pos);
-      }
-    }
-  }
+  ops::EmbeddingForwardKernel(token_table_, pos_table_, tokens, x);
   return x;
 }
 
@@ -46,29 +33,7 @@ template <typename T>
 void EmbeddingT<T>::Backward(const Tensor<T>& d_x, const TokenIds& tokens,
                              Tensor<T>& d_token_table,
                              Tensor<T>& d_pos_table) const {
-  std::vector<float> acc_tok(
-      static_cast<std::size_t>(token_table_.size()), 0.0f);
-  std::vector<float> acc_pos(static_cast<std::size_t>(pos_table_.size()),
-                             0.0f);
-  for (std::int64_t b = 0; b < dims_.b; ++b) {
-    for (std::int64_t j = 0; j < dims_.j; ++j) {
-      const auto id = tokens[static_cast<std::size_t>(b * dims_.j + j)];
-      for (std::int64_t i = 0; i < dims_.i; ++i) {
-        const float g = float(d_x.at({{'i', i}, {'b', b}, {'j', j}}));
-        acc_tok[static_cast<std::size_t>(
-            d_token_table.OffsetOf(std::array{std::pair{'v', std::int64_t(id)},
-                                              std::pair{'i', i}}))] += g;
-        acc_pos[static_cast<std::size_t>(d_pos_table.OffsetOf(
-            std::array{std::pair{'j', j}, std::pair{'i', i}}))] += g;
-      }
-    }
-  }
-  for (std::int64_t e = 0; e < d_token_table.size(); ++e) {
-    d_token_table.data()[e] = T(acc_tok[static_cast<std::size_t>(e)]);
-  }
-  for (std::int64_t e = 0; e < d_pos_table.size(); ++e) {
-    d_pos_table.data()[e] = T(acc_pos[static_cast<std::size_t>(e)]);
-  }
+  ops::EmbeddingBackwardKernel(d_x, tokens, d_token_table, d_pos_table);
 }
 
 template <typename T>

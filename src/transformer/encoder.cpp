@@ -63,6 +63,11 @@ const EncoderSpecs& S() {
 
 }  // namespace
 
+std::vector<std::uint64_t> EncoderDropoutSeeds(std::uint64_t layer_seed) {
+  return {SiteSeed(layer_seed, kAttnSoftmax), SiteSeed(layer_seed, kAttnOutput),
+          SiteSeed(layer_seed, kFeedForward), SiteSeed(layer_seed, kOutput)};
+}
+
 bool GraphExecutorDefault() {
   static const bool value = [] {
     const char* env = std::getenv("XFLOW_GRAPH_EXEC");

@@ -29,6 +29,12 @@ class LayerArenaT;  // transformer/arena.hpp
 /// false otherwise. Read once per process.
 bool GraphExecutorDefault();
 
+/// One layer's four dropout-site Philox seeds, in dropout-op graph order
+/// (SM attention dropout, attention-output dropout, feed-forward, output).
+/// This is the exact ExecutorOptions::dropout_seeds block a single layer
+/// uses; a whole-stack executor concatenates one block per layer.
+std::vector<std::uint64_t> EncoderDropoutSeeds(std::uint64_t layer_seed);
+
 struct EncoderConfig {
   graph::ModelDims dims = graph::ModelDims::Tiny();
   float dropout_prob = 0.1f;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,6 +44,9 @@ class EncoderStackT {
  public:
   /// `config.seed` seeds layer 0's dropout; deeper layers offset it.
   EncoderStackT(EncoderConfig config, int num_layers, std::uint64_t seed);
+  EncoderStackT(EncoderStackT&&) noexcept;
+  EncoderStackT& operator=(EncoderStackT&&) noexcept;
+  ~EncoderStackT();
 
   [[nodiscard]] int num_layers() const {
     return static_cast<int>(layers_.size());
@@ -77,8 +81,42 @@ class EncoderStackT {
   /// friendly.
   std::vector<std::pair<std::string, Tensor<T>*>> NamedParams();
 
+  // --- Whole-stack executor path (one graph, one plan, one slab) ---------
+  //
+  // Built on a StackArenaT (MakeStackArena): embedding -> N layers -> loss
+  // live in ONE planned graph, so cross-layer transients share bytes and
+  // PR 7's concurrent dispatch overlaps steps *across* layers. Bitwise
+  // identical to the per-layer path above at every thread count, fused and
+  // unfused, checkpointed or not.
+
+  /// The cached whole-stack executor bound to `arena` (rebuilt when the
+  /// arena or its slab changes). Every layer's weights are pre-bound as
+  /// "L<l>.<name>"; the executor is public so callers can bind embedding
+  /// token ids, the loss target, and embedding-table gradient accumulators
+  /// before running graphs with vocab/loss heads.
+  graph::GraphExecutorT<T>& Executor(StackArenaT<T>& arena) const;
+
+  /// Whole-stack forward over `arena`'s plan. Requires a graph whose input
+  /// is "x" (no embedding head). Returns the top layer's output as an
+  /// arena view (overwritten by the next step; deep-copy to keep it).
+  const Tensor<T>& Forward(const Tensor<T>& x, StackArenaT<T>& arena) const;
+
+  /// Whole-stack backward from d_y (requires a graph without a loss head,
+  /// so "d_y" is the graph input); must follow a Forward on the same
+  /// arena. Fills one gradient set per layer (weight gradients stay
+  /// owning; each d_x becomes an arena view) and returns layer 0's d_x.
+  const Tensor<T>& Backward(const Tensor<T>& d_y, StackArenaT<T>& arena,
+                            std::vector<EncoderGradientsT<T>>& grads) const;
+
  private:
   std::vector<EncoderLayerT<T>> layers_;
+  // Whole-stack executor cache; same key discipline as EncoderLayerT's
+  // per-layer cache (arena address and slab address).
+  mutable std::unique_ptr<graph::GraphExecutorT<T>> stack_executor_;
+  mutable const StackArenaT<T>* stack_arena_ = nullptr;
+  mutable const void* stack_slab_ = nullptr;
+  // Storage behind the references Forward/Backward return (arena views).
+  mutable Tensor<T> y_view_, dx_view_;
 };
 
 using EncoderStack = EncoderStackT<Half>;

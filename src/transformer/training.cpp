@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/threadpool.hpp"
+#include "ops/embedding.hpp"
 
 namespace xflow::transformer {
 
@@ -89,16 +90,7 @@ double ClipGradNorm(const std::vector<TensorH*>& grads, double max_norm) {
 }
 
 double MseLoss(const TensorH& y, const TensorH& target, TensorH& d_y) {
-  require(y.size() == target.size() && y.size() == d_y.size(),
-          "loss tensors must match in size");
-  const double n = static_cast<double>(y.size());
-  double loss = 0;
-  for (std::int64_t i = 0; i < y.size(); ++i) {
-    const float diff = float(y.data()[i]) - float(target.data()[i]);
-    loss += static_cast<double>(diff) * diff;
-    d_y.data()[i] = Half(2.0f * diff / static_cast<float>(n));
-  }
-  return loss / n;
+  return ops::MseLossKernel(y, target, d_y);
 }
 
 }  // namespace xflow::transformer

@@ -338,6 +338,25 @@ TEST(VerifyPlan, ConcurrentOverlapBetweenPathFreeBranches) {
   ExpectOnlyRule(Verify(g, plan), "plan/concurrent-overlap");
 }
 
+TEST(VerifyPlan, CrossLayerSavedActivationAliasing) {
+  // Whole-stack fixture: layer 1's forward transient "L1.beta" lives
+  // entirely inside layer 0's attention-mask store-until-backward window,
+  // so aliasing the two clobbers the saved activation before L0's
+  // backward reads it. Exactly (and only) plan/cross-layer-liveness owns
+  // this corruption, in both the strict three-arg form and the two-arg
+  // executor pre-flight form.
+  const auto g = BuildEncoderStack(ModelDims::Tiny(), {.num_layers = 2});
+  const auto options = transformer::StackPlanOptions<Half>(g);
+  const auto clean = PlanMemory(g, options);
+  const auto ok = Verify(g, clean, options);
+  EXPECT_TRUE(ok.ok()) << ok.Summary();
+  const auto plan = Corrupted(clean, [](auto& p) {
+    p.at("L1.beta").offset = p.at("L0.attn_mask").offset;
+  });
+  ExpectOnlyRule(Verify(g, plan, options), "plan/cross-layer-liveness");
+  ExpectOnlyRule(Verify(g, plan), "plan/cross-layer-liveness");
+}
+
 TEST(VerifyPlan, ShrunkLivenessInterval) {
   const auto f = MakeChain();
   const auto plan = Corrupted(f.plan, [](auto& p) {

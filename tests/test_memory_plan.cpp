@@ -157,6 +157,33 @@ TEST(MemoryPlan, PlannedPeakWellBelowNaiveOnBertBase) {
   EXPECT_GE(plan.Reduction(), 0.30) << plan.Summary();
 }
 
+TEST(MemoryPlan, WholeStackPlanBeatsPerLayerPlanningOnBertBase) {
+  // Whole-stack acceptance bar: planning the 12-layer BERT-base
+  // forward+backward as ONE graph lets cross-layer transients share
+  // bytes, so its peak lands >= 15% below twelve independently planned
+  // per-layer slabs (the prior deployment model, where each layer needs
+  // its own slab because its saved activations must survive until its
+  // backward runs).
+  const auto dims = ModelDims::BertBase();
+  constexpr std::size_t kLayers = 12;
+  const auto layer = BuildEncoder(dims, AlgebraicFusion::kQKV, true);
+  const auto layer_plan = PlanMemory(layer, HalfOptions());
+  const std::size_t per_layer_sum = kLayers * layer_plan.PeakBytes();
+
+  const auto stack =
+      BuildEncoderStack(dims, {.num_layers = static_cast<int>(kLayers)});
+  const auto stack_plan =
+      PlanMemory(stack, transformer::StackPlanOptions<Half>(stack));
+  // Report-style aliases mirror the snake_case accessors exactly.
+  EXPECT_EQ(stack_plan.PeakBytes(), stack_plan.peak_bytes());
+  EXPECT_EQ(stack_plan.NaiveSumBytes(), stack_plan.naive_bytes());
+  EXPECT_GT(stack_plan.PeakBytes(), 0u);
+  EXPECT_LE(static_cast<double>(stack_plan.PeakBytes()),
+            0.85 * static_cast<double>(per_layer_sum))
+      << "whole-stack " << stack_plan.PeakBytes() << " vs per-layer sum "
+      << per_layer_sum << " (" << stack_plan.Summary() << ")";
+}
+
 TEST(MemoryPlan, CrossChecksGraphAnalysisAccounting) {
   // Every planned non-pinned container is produced by exactly one op, so
   // the naive sum must be consistent with the analysis layer's

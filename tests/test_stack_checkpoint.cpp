@@ -2,10 +2,17 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
+#include "transformer/arena.hpp"
 #include "transformer/checkpoint.hpp"
 #include "transformer/stack.hpp"
+#include "transformer/training.hpp"
 
 namespace xflow::transformer {
 namespace {
@@ -142,6 +149,107 @@ TEST_F(CheckpointTest, FullStackRoundTrip) {
   stack.Forward(x, a1);
   restored.Forward(x, a2);
   EXPECT_EQ(MaxAbsDiff(a1.back().y, a2.back().y), 0.0);
+}
+
+// ---- Checkpoint-aware whole-stack training -------------------------------
+
+/// Four mixed-precision Adam steps through the whole-stack executor over
+/// `arena`; returns the final fp16 weights, flattened in layer/param
+/// order. Fixed seeds everywhere, so two arenas that plan the same math
+/// (stored vs recomputed activations) must land on identical weights.
+std::vector<TensorH> TrainedParams(const EncoderConfig& cfg, int layers,
+                                   StackArenaT<Half>& arena) {
+  EncoderStack stack(cfg, layers, 91);
+  const auto& d = cfg.dims;
+  const Shape ibj("ibj", {d.i, d.b, d.j});
+  const auto x = TensorH::Random(ibj, 13);
+  const auto target = TensorH::Random(ibj, 14);
+  std::vector<std::map<std::string, TensorF>> masters(
+      static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (auto& [name, t] : stack.layer(l).params().Named()) {
+      masters[static_cast<std::size_t>(l)].emplace(name, t->Cast<float>());
+    }
+  }
+  MixedPrecisionAdam opt({.lr = 5e-3f});
+  TensorH d_y(ibj);
+  std::vector<EncoderGradients> grads;
+  for (int step = 0; step < 4; ++step) {
+    const auto& y = stack.Forward(x, arena);
+    MseLoss(y, target, d_y);
+    stack.Backward(d_y, arena, grads);
+    for (int l = 0; l < layers; ++l) {
+      const auto lu = static_cast<std::size_t>(l);
+      auto named_params = stack.layer(l).params().Named();
+      auto named_grads = grads[lu].params.Named();
+      for (std::size_t p = 0; p < named_params.size(); ++p) {
+        opt.Step(StrFormat("L%d.%s", l, named_params[p].first.c_str()),
+                 masters[lu].at(named_params[p].first),
+                 *named_params[p].second, *named_grads[p].second);
+      }
+    }
+  }
+  std::vector<TensorH> out;
+  for (int l = 0; l < layers; ++l) {
+    for (auto& [name, t] : stack.layer(l).params().Named()) {
+      out.push_back(*t);
+    }
+  }
+  return out;
+}
+
+TEST(StackCheckpoint, RecomputeTrainsBitwiseIdenticalToStore) {
+  // Recompute-in-backward vs store-until-backward is a pure memory
+  // tradeoff: over forward + backward + four Adam steps the weights must
+  // stay bitwise equal, at every thread count (the recompute clones reuse
+  // the originals' dropout seeds and the plan keeps every still-needed
+  // tensor apart).
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    ThreadPool::SetGlobalThreads(threads);
+    EncoderConfig cfg = StackConfig();
+    cfg.dropout_prob = 0.1f;
+    cfg.use_fused_kernels = true;
+    cfg.use_task_scheduler = true;
+    auto stored = MakeStackArena<Half>(cfg, {.num_layers = 3});
+    const auto want = TrainedParams(cfg, 3, stored);
+    auto recomputed = MakeStackArena<Half>(
+        cfg, {.num_layers = 3, .recompute_layers = {0, 1}});
+    const auto got = TrainedParams(cfg, 3, recomputed);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(MaxAbsDiff(got[i], want[i]), 0.0) << "param " << i;
+    }
+    ThreadPool::SetGlobalThreads(ThreadPool::ResolveGlobalThreads());
+  }
+}
+
+TEST(StackCheckpoint, ShrinkingBudgetNeverRaisesPlannedPeak) {
+  // The budget knob is monotone: asking for less memory never produces a
+  // plan that needs more. At an impossible budget the planner commits to
+  // maximal recomputation and reports the roofline-costed overhead.
+  const auto dims = graph::ModelDims::Tiny();
+  const graph::StackGraphOptions base{.num_layers = 4};
+  const auto options_for = [](const graph::DataflowGraph& g) {
+    return StackPlanOptions<Half>(g);
+  };
+  const auto stack_graph = graph::BuildEncoderStack(dims, base);
+  const auto full = graph::PlanMemory(stack_graph, options_for(stack_graph));
+  const std::size_t full_peak = full.PeakBytes();
+  std::size_t prev = std::numeric_limits<std::size_t>::max();
+  for (const std::size_t budget :
+       std::vector<std::size_t>{full_peak, full_peak * 3 / 4, full_peak / 2,
+                                full_peak / 4, 1}) {
+    const auto ckpt =
+        graph::PlanCheckpointedStack(dims, base, options_for, budget);
+    EXPECT_LE(ckpt.plan.PeakBytes(), prev) << "budget " << budget;
+    EXPECT_LE(ckpt.plan.PeakBytes(), full_peak) << "budget " << budget;
+    prev = ckpt.plan.PeakBytes();
+  }
+  const auto maximal = graph::PlanCheckpointedStack(dims, base, options_for, 1);
+  EXPECT_FALSE(maximal.recompute_layers.empty());
+  EXPECT_FALSE(maximal.decisions.empty());
+  EXPECT_GT(maximal.recompute_seconds, 0.0);
 }
 
 }  // namespace
