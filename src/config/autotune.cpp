@@ -1,0 +1,143 @@
+#include "config/autotune.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "config/selection.hpp"
+#include "sim/device.hpp"
+#include "tensor/memstats.hpp"
+
+namespace xflow::config {
+
+namespace {
+
+/// How deep the sim ranking is trusted before measuring (Sec. VI-A keeps
+/// only a handful of configurations per contraction in play).
+constexpr int kSimTopK = 4;
+
+std::int64_t RoundUpPow2(std::int64_t v) {
+  std::int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::mutex& CacheMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<ShapeBucket, TunedEntry>& Cache() {
+  static std::map<ShapeBucket, TunedEntry> cache;
+  return cache;
+}
+
+}  // namespace
+
+AutotuneMode ParseAutotuneMode(const char* value) {
+  if (value == nullptr || *value == '\0') return AutotuneMode::kMeasure;
+  std::string v(value);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "off" || v == "0" || v == "false" || v == "no") {
+    return AutotuneMode::kOff;
+  }
+  if (v == "sim") return AutotuneMode::kSim;
+  return AutotuneMode::kMeasure;
+}
+
+AutotuneMode AutotuneModeFromEnv() {
+  static const AutotuneMode mode =
+      ParseAutotuneMode(std::getenv("XFLOW_AUTOTUNE"));
+  return mode;
+}
+
+ShapeBucket BucketOf(EinsumClass cls, const GemmExtents& extents,
+                     std::int64_t elem_bytes) {
+  ShapeBucket b;
+  b.cls = cls;
+  b.m = RoundUpPow2(extents.m);
+  b.n = RoundUpPow2(extents.n);
+  b.k = RoundUpPow2(extents.k);
+  b.batch = RoundUpPow2(extents.batch);
+  b.elem_bytes = elem_bytes;
+  return b;
+}
+
+std::vector<EinsumExecConfig> ExecCandidates(const ShapeBucket& bucket) {
+  std::vector<EinsumExecConfig> out;
+  out.push_back(EinsumExecConfig{});  // the built-in heuristics
+  const bool row_partitioned = bucket.cls == EinsumClass::kGemv ||
+                               bucket.cls == EinsumClass::kGer ||
+                               bucket.cls == EinsumClass::kView;
+  if (row_partitioned) {
+    // Finer grain balances better, coarser grain amortizes task
+    // dispatch; which wins depends on rows-per-core on this host.
+    out.push_back(EinsumExecConfig{.batch_parallel = -1, .row_grain = 16});
+    out.push_back(EinsumExecConfig{.batch_parallel = -1, .row_grain = 256});
+  }
+  if (bucket.batch > 1) {
+    out.push_back(EinsumExecConfig{.batch_parallel = 1, .row_grain = 0});
+    out.push_back(EinsumExecConfig{.batch_parallel = 0, .row_grain = 0});
+  }
+  return out;
+}
+
+TunedEntry Autotune(const ShapeBucket& bucket, const MeasureFn& measure,
+                    AutotuneMode mode) {
+  if (mode == AutotuneMode::kOff) return TunedEntry{};
+
+  // The lock is held across tuning so a bucket is tuned exactly once
+  // even when the task scheduler dispatches two same-bucket contractions
+  // concurrently: the loser blocks, then hits the cache. Measurement
+  // under the lock cannot deadlock -- the pool's waiters execute their
+  // own pending tasks.
+  const std::lock_guard<std::mutex> lock(CacheMutex());
+  auto& cache = Cache();
+  if (const auto it = cache.find(bucket); it != cache.end()) {
+    memstats::RecordAutotuneHit();
+    return it->second;
+  }
+
+  TunedEntry entry;
+  static const sim::GpuModel model{sim::DeviceSpec::V100()};
+  const GemmExtents extents{bucket.m, bucket.n, bucket.k, bucket.batch};
+  const auto sim_ranked = EnumerateCandidates(model, extents, kSimTopK);
+  if (!sim_ranked.empty()) {
+    entry.algorithm = sim_ranked.front().algorithm;
+    entry.sim_us = sim_ranked.front().sim_us;
+  }
+  const auto candidates = ExecCandidates(bucket);
+  entry.exec = candidates.front();
+  if (mode == AutotuneMode::kMeasure && measure) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& cand : candidates) {
+      // Best-of-two damps scheduler noise; every candidate computes the
+      // same bits, so re-running the contraction is side-effect-free.
+      const double t = std::min(measure(cand), measure(cand));
+      if (t < best) {
+        best = t;
+        entry.exec = cand;
+      }
+    }
+    entry.measured = true;
+  }
+  memstats::RecordAutotuneMeasure();
+  cache.emplace(bucket, entry);
+  return entry;
+}
+
+TunedEntry Autotune(const ShapeBucket& bucket, const MeasureFn& measure) {
+  return Autotune(bucket, measure, AutotuneModeFromEnv());
+}
+
+void ResetAutotuneCacheForTesting() {
+  const std::lock_guard<std::mutex> lock(CacheMutex());
+  Cache().clear();
+}
+
+}  // namespace xflow::config

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <iterator>
 #include <stdexcept>
@@ -12,7 +13,9 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/threadpool.hpp"
+#include "config/autotune.hpp"
 #include "fusion/fuser.hpp"
+#include "graph/lowering.hpp"
 #include "ops/elementwise.hpp"
 #include "ops/embedding.hpp"
 #include "ops/fused.hpp"
@@ -86,6 +89,11 @@ GraphExecutorT<T>::GraphExecutorT(DataflowGraph graph, const MemoryPlan* plan,
           "executor needs a memory plan and a workspace");
   require(workspace_->capacity() >= plan_->peak_bytes(),
           "workspace is smaller than the plan's peak bytes");
+  // Annotate each contraction with its kernel class before scheduling;
+  // ops already carrying a class keep it (the pre-flight verifier's
+  // graph/lowering-consistent rule cross-checks recorded classes, so a
+  // stale annotation fails fast instead of being silently overwritten).
+  LowerContractions(graph_);
   BuildBindings();
   BuildSchedule();
 }
@@ -651,8 +659,35 @@ void GraphExecutorT<T>::DispatchSingle(const OpNode& op, int op_index) {
   switch (op.kind) {
     case OpKind::kContraction: {
       const ContractionOperands& o = contraction_operands_.at(op_index);
-      EinsumInto(specs_.at(op_index), View(o.a), View(o.b),
-                 MutableView(o.out));
+      const EinsumSpec& spec = specs_.at(op_index);
+      const Tensor<T>& a = View(o.a);
+      const Tensor<T>& b = View(o.b);
+      Tensor<T>& out = MutableView(o.out);
+      const auto mode = config::AutotuneModeFromEnv();
+      if (mode == config::AutotuneMode::kOff) {
+        EinsumLowered(spec, op.lowered, a, b, out);
+        return;
+      }
+      // Online autotune: look up (or tune, once, process-wide) the
+      // execution strategy for this (class, shape bucket). Measuring
+      // re-runs the real dispatch -- legal because beta == 0 here, so
+      // every candidate writes the same bits the final run writes.
+      const EinsumClassInfo& info = ClassifyEinsum(spec, a.shape(),
+                                                   b.shape());
+      const auto bucket = config::BucketOf(
+          info.cls, info.extents,
+          static_cast<std::int64_t>(sizeof(T)));
+      const config::TunedEntry tuned = config::Autotune(
+          bucket,
+          [&](const EinsumExecConfig& cand) {
+            const auto t0 = std::chrono::steady_clock::now();
+            EinsumLowered(spec, op.lowered, a, b, out, 1.0f, 0.0f, &cand);
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                .count();
+          },
+          mode);
+      EinsumLowered(spec, op.lowered, a, b, out, 1.0f, 0.0f, &tuned.exec);
       return;
     }
     case OpKind::kBias: {

@@ -1,0 +1,202 @@
+#include "graph/lowering.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace xflow::graph {
+
+std::string ShapeStr(const Shape& s) {
+  std::string out = s.names() + "[";
+  for (int d = 0; d < s.rank(); ++d) {
+    if (d > 0) out += ",";
+    out += std::to_string(s.dims()[static_cast<std::size_t>(d)].extent);
+  }
+  return out + "]";
+}
+
+std::optional<Shape> StackShapes(const std::vector<const Shape*>& members,
+                                 std::string* why) {
+  const Shape& first = *members.front();
+  if (first.rank() == 0) {
+    *why = "stacked member has rank 0";
+    return std::nullopt;
+  }
+  std::int64_t lead = 0;
+  for (const Shape* m : members) {
+    if (m->rank() != first.rank()) {
+      *why = StrFormat("stacked members %s and %s differ in rank",
+                       ShapeStr(first).c_str(), ShapeStr(*m).c_str());
+      return std::nullopt;
+    }
+    for (int d = 1; d < first.rank(); ++d) {
+      const auto dd = static_cast<std::size_t>(d);
+      if (m->dims()[dd].extent != first.dims()[dd].extent) {
+        *why = StrFormat("stacked members %s and %s differ beyond the "
+                         "stack dim",
+                         ShapeStr(first).c_str(), ShapeStr(*m).c_str());
+        return std::nullopt;
+      }
+    }
+    lead += m->dims().front().extent;
+  }
+  std::vector<DimExt> dims = first.dims();
+  dims.front().extent = lead;
+  return Shape(std::move(dims));
+}
+
+bool BindExtents(const Shape& shape, const std::string& letters, DimMap& ext,
+                 std::string* why) {
+  if (static_cast<std::size_t>(shape.rank()) != letters.size()) {
+    *why = StrFormat("%s does not match spec dims '%s'",
+                     ShapeStr(shape).c_str(), letters.c_str());
+    return false;
+  }
+  std::string sorted_names = shape.names();
+  std::string sorted_letters = letters;
+  std::sort(sorted_names.begin(), sorted_names.end());
+  std::sort(sorted_letters.begin(), sorted_letters.end());
+  const bool by_name = sorted_names == sorted_letters;
+  for (std::size_t d = 0; d < letters.size(); ++d) {
+    const char letter = letters[d];
+    const std::int64_t e =
+        by_name ? shape.extent(letter) : shape.dims()[d].extent;
+    const auto [it, inserted] = ext.emplace(letter, e);
+    if (!inserted && it->second != e) {
+      *why = StrFormat("dim '%c' would need extent %lld and %lld at once",
+                       letter, static_cast<long long>(it->second),
+                       static_cast<long long>(e));
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::int64_t GroupExtent(const std::string& letters, const DimMap& ext) {
+  std::int64_t total = 1;
+  for (char d : letters) total *= ext.at(d);
+  return total;
+}
+
+}  // namespace
+
+std::optional<GemmExtents> DeriveContractionExtents(const DataflowGraph& g,
+                                                    const OpNode& op,
+                                                    const EinsumSpec& spec,
+                                                    std::string* why) {
+  for (const auto& name : op.inputs) {
+    if (!g.HasTensor(name)) {
+      *why = StrFormat("input '%s' is not declared", name.c_str());
+      return std::nullopt;
+    }
+  }
+  for (const auto& name : op.outputs) {
+    if (!g.HasTensor(name)) {
+      *why = StrFormat("output '%s' is not declared", name.c_str());
+      return std::nullopt;
+    }
+  }
+  auto shape_of = [&](const std::string& n) -> const Shape& {
+    return g.tensor(n).shape;
+  };
+  // Output side, shared by every input candidate.
+  Shape out_shape;
+  if (op.outputs.size() == 1) {
+    out_shape = shape_of(op.outputs.front());
+  } else {
+    std::vector<const Shape*> members;
+    members.reserve(op.outputs.size());
+    for (const auto& name : op.outputs) members.push_back(&shape_of(name));
+    auto stacked = StackShapes(members, why);
+    if (!stacked) return std::nullopt;
+    out_shape = std::move(*stacked);
+  }
+  // Input candidates, in the same order the verifier's shape rule tries
+  // them: plain (a, b), then b = stack(inputs[1..]) (the Q,K,V dX form),
+  // then a = stack(inputs[..n-2]) (the Q,K,V dW form).
+  struct Candidate {
+    Shape a, b;
+  };
+  std::vector<Candidate> candidates;
+  if (op.inputs.size() == 2) {
+    candidates.push_back({shape_of(op.inputs[0]), shape_of(op.inputs[1])});
+  } else if (op.inputs.size() > 2) {
+    {
+      std::vector<const Shape*> members;
+      for (std::size_t i = 1; i < op.inputs.size(); ++i) {
+        members.push_back(&shape_of(op.inputs[i]));
+      }
+      if (auto stacked = StackShapes(members, why)) {
+        candidates.push_back({shape_of(op.inputs[0]), std::move(*stacked)});
+      }
+    }
+    {
+      std::vector<const Shape*> members;
+      for (std::size_t i = 0; i + 1 < op.inputs.size(); ++i) {
+        members.push_back(&shape_of(op.inputs[i]));
+      }
+      if (auto stacked = StackShapes(members, why)) {
+        candidates.push_back({std::move(*stacked), shape_of(op.inputs.back())});
+      }
+    }
+    if (candidates.empty()) return std::nullopt;  // *why set by StackShapes
+  } else {
+    *why = "contraction has fewer than 2 inputs";
+    return std::nullopt;
+  }
+  std::string first_error;
+  for (const Candidate& cand : candidates) {
+    DimMap ext;
+    std::string bind_why;
+    const bool fits = BindExtents(cand.a, spec.a, ext, &bind_why) &&
+                      BindExtents(cand.b, spec.b, ext, &bind_why) &&
+                      BindExtents(out_shape, spec.out, ext, &bind_why);
+    if (!fits) {
+      if (first_error.empty()) first_error = bind_why;
+      continue;
+    }
+    GemmExtents e;
+    e.batch = GroupExtent(spec.batch_dims, ext);
+    e.m = GroupExtent(spec.m_dims, ext);
+    e.n = GroupExtent(spec.n_dims, ext);
+    e.k = GroupExtent(spec.k_dims, ext);
+    return e;
+  }
+  *why = std::move(first_error);
+  return std::nullopt;
+}
+
+EinsumClass DeriveLoweredClass(const DataflowGraph& g, const OpNode& op) {
+  if (op.kind != OpKind::kContraction || op.einsum.empty()) {
+    return EinsumClass::kUnclassified;
+  }
+  EinsumSpec spec;
+  try {
+    spec = EinsumSpec::Parse(op.einsum);
+  } catch (const InvalidArgument&) {
+    return EinsumClass::kUnclassified;
+  }
+  std::string why;
+  const auto extents = DeriveContractionExtents(g, op, spec, &why);
+  if (!extents) return EinsumClass::kUnclassified;
+  return ClassifyContraction(*extents);
+}
+
+std::size_t LowerContractions(DataflowGraph& g) {
+  std::size_t lowered = 0;
+  for (OpNode& op : g.mutable_ops()) {
+    if (op.kind != OpKind::kContraction) continue;
+    if (op.lowered != EinsumClass::kUnclassified) continue;
+    const EinsumClass cls = DeriveLoweredClass(g, op);
+    if (cls == EinsumClass::kUnclassified) continue;
+    op.lowered = cls;
+    ++lowered;
+  }
+  return lowered;
+}
+
+}  // namespace xflow::graph

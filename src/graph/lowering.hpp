@@ -1,0 +1,74 @@
+// Contraction lowering: classify every einsum op by its spec + extents.
+//
+// The lowering pass walks a DataflowGraph and records, on each
+// kContraction op, the EinsumClass its spec and operand extents derive
+// (tensor/einsum_class.hpp) -- plain gemm, strided-batched gemm, gemv,
+// ger/outer-product, pure reduction, or transpose-free view -- so the
+// executor dispatches each contraction straight to its specialized
+// kernel instead of the generic macro-tile pipeline. Classification is a
+// pure function of (spec, shapes); the verifier's
+// graph/lowering-consistent rule re-derives it through the same entry
+// points exported here and cross-checks the recorded class, so a stale
+// or hand-forged annotation cannot reach the executor.
+//
+// Also home to the shared operand-resolution helpers (stacked-block
+// shapes, spec-letter extent binding) used by both this pass and
+// graph/verify.cpp's shape rules.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tensor/einsum.hpp"
+
+namespace xflow::graph {
+
+/// Spec letter -> bound extent, accumulated across operands.
+using DimMap = std::map<char, std::int64_t>;
+
+/// "phbj[8,3,2,10]" -- shape diagnostics shared with the verifier.
+std::string ShapeStr(const Shape& s);
+
+/// Stacked operand resolution (the algebraic Q/K/V stacks, Sec. IV-D):
+/// members must share rank and trailing extents; the effective operand is
+/// member[0] with the leading extent summed. Member dim names beyond the
+/// first are positional relabels (the paper's j->k / p->w renames).
+std::optional<Shape> StackShapes(const std::vector<const Shape*>& members,
+                                 std::string* why);
+
+/// Binds a tensor's extents to the spec letters `letters`, accumulating
+/// into `ext` (shared across a, b and out so every letter's extent must
+/// cohere). Binding is by name when the name sets agree -- memory order
+/// is free -- and positional otherwise (a pure relabel, e.g. the
+/// builders' whbj -> whbk value path).
+bool BindExtents(const Shape& shape, const std::string& letters, DimMap& ext,
+                 std::string* why);
+
+/// The flattened GEMM extents `op`'s spec + operand shapes derive, after
+/// stacked-block resolution (the same candidate forms the verifier's
+/// shape/contraction rule accepts: plain (a, b), b = stack(inputs[1..]),
+/// or a = stack(inputs[..n-2]); stacked outputs form one block).
+/// std::nullopt with *why when no candidate binds -- that graph already
+/// fails shape/contraction, which owns the diagnostic.
+std::optional<GemmExtents> DeriveContractionExtents(const DataflowGraph& g,
+                                                    const OpNode& op,
+                                                    const EinsumSpec& spec,
+                                                    std::string* why);
+
+/// The class `op`'s spec/extents re-derive, or kUnclassified when the
+/// spec is malformed or the operand shapes do not bind (those graphs
+/// trip graph/arity or shape/contraction instead).
+EinsumClass DeriveLoweredClass(const DataflowGraph& g, const OpNode& op);
+
+/// The lowering pass: annotate every kContraction op whose `lowered`
+/// field is still kUnclassified with its derived class. Ops already
+/// carrying a class are left untouched (so the verifier can still catch
+/// a stale annotation), as are ops whose class cannot be derived.
+/// Returns the number of ops annotated.
+std::size_t LowerContractions(DataflowGraph& g);
+
+}  // namespace xflow::graph

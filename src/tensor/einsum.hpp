@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "tensor/einsum_class.hpp"
 #include "tensor/tensor.hpp"
 
 namespace xflow {
@@ -32,18 +33,58 @@ struct EinsumSpec {
                                        const Shape& b_shape) const;
 };
 
-/// Flattened GEMM dimensions of a contraction (used by the device model).
-struct GemmExtents {
-  std::int64_t m = 1, n = 1, k = 1, batch = 1;
-};
+/// Flattened GEMM dimensions of a contraction (see einsum_class.hpp for
+/// the GemmExtents definition shared with the graph layer). Throws
+/// InvalidArgument naming the spec and both operand shapes when a spec
+/// dim is missing from the operand that must carry it.
 GemmExtents ContractionExtents(const EinsumSpec& spec, const Shape& a_shape,
                                const Shape& b_shape);
 
+/// Classification of one (spec, operand shapes) site, cached process-wide
+/// alongside the offset-table cache (misses are metered via
+/// memstats::einsum_class_builds -- a steady-state step re-derives
+/// nothing).
+struct EinsumClassInfo {
+  EinsumClass cls = EinsumClass::kUnclassified;
+  GemmExtents extents;
+};
+const EinsumClassInfo& ClassifyEinsum(const EinsumSpec& spec,
+                                      const Shape& a_shape,
+                                      const Shape& b_shape);
+
+/// Execution-strategy knobs of one contraction dispatch. Every setting is
+/// numerics-free by construction -- each output element is computed start
+/// to finish by one thread in a fixed ascending-k order -- so the online
+/// autotuner (config/autotune.hpp) may pick any of them and results stay
+/// bitwise identical at every thread count.
+struct EinsumExecConfig {
+  /// Parallelize the batch loop (1), the per-GEMM tiles/rows (0), or let
+  /// the built-in heuristic decide (-1).
+  int batch_parallel = -1;
+  /// Rows per pool task in the gemv/ger row partition; 0 = default.
+  std::int64_t row_grain = 0;
+};
+
 /// out = alpha * einsum(a, b) + beta * out. `out` must already be shaped with
 /// exactly the spec's output dims (any memory order -- layouts are free).
+/// Classifies via the cache and dispatches through the lowered kernel set.
 template <typename T>
 void EinsumInto(const EinsumSpec& spec, const Tensor<T>& a, const Tensor<T>& b,
                 Tensor<T>& out, float alpha = 1.0f, float beta = 0.0f);
+
+/// EinsumInto with the lowering class chosen by the caller (the graph
+/// executor dispatches through the class its lowering pass recorded).
+/// `cls` must be the site's derived class, except that kGemm /
+/// kBatchedGemm always run the generic macro-tile pipeline -- passing
+/// kGemm forces the generic path for any shape, which is how the bitwise
+/// specialized-vs-generic tests and benches get their baseline --
+/// and kUnclassified classifies on the fly. `exec`, when non-null,
+/// overrides the parallelization heuristics (see EinsumExecConfig).
+template <typename T>
+void EinsumLowered(const EinsumSpec& spec, EinsumClass cls, const Tensor<T>& a,
+                   const Tensor<T>& b, Tensor<T>& out, float alpha = 1.0f,
+                   float beta = 0.0f,
+                   const EinsumExecConfig* exec = nullptr);
 
 /// Convenience: allocates the output with dims in spec order.
 template <typename T>

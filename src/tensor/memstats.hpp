@@ -25,6 +25,9 @@ struct Snapshot {
   std::int64_t workspace_allocs = 0;  // Workspace slab (re)allocations
   std::int64_t workspace_bytes = 0;   // total bytes of those slabs
   std::int64_t einsum_table_builds = 0;  // einsum offset-table cache misses
+  std::int64_t einsum_class_builds = 0;  // einsum classification cache misses
+  std::int64_t autotune_measures = 0;    // autotune cache fills (cold tunes)
+  std::int64_t autotune_hits = 0;        // autotune cache hits (warm lookups)
 };
 
 namespace internal {
@@ -33,6 +36,9 @@ inline std::atomic<std::int64_t> tensor_bytes{0};
 inline std::atomic<std::int64_t> workspace_allocs{0};
 inline std::atomic<std::int64_t> workspace_bytes{0};
 inline std::atomic<std::int64_t> einsum_table_builds{0};
+inline std::atomic<std::int64_t> einsum_class_builds{0};
+inline std::atomic<std::int64_t> autotune_measures{0};
+inline std::atomic<std::int64_t> autotune_hits{0};
 }  // namespace internal
 
 inline void RecordTensorAlloc(std::int64_t bytes) {
@@ -49,6 +55,18 @@ inline void RecordEinsumTableBuild() {
   internal::einsum_table_builds.fetch_add(1, std::memory_order_relaxed);
 }
 
+inline void RecordEinsumClassBuild() {
+  internal::einsum_class_builds.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void RecordAutotuneMeasure() {
+  internal::autotune_measures.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void RecordAutotuneHit() {
+  internal::autotune_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
 inline Snapshot Read() {
   Snapshot s;
   s.tensor_allocs = internal::tensor_allocs.load(std::memory_order_relaxed);
@@ -59,6 +77,11 @@ inline Snapshot Read() {
       internal::workspace_bytes.load(std::memory_order_relaxed);
   s.einsum_table_builds =
       internal::einsum_table_builds.load(std::memory_order_relaxed);
+  s.einsum_class_builds =
+      internal::einsum_class_builds.load(std::memory_order_relaxed);
+  s.autotune_measures =
+      internal::autotune_measures.load(std::memory_order_relaxed);
+  s.autotune_hits = internal::autotune_hits.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -341,6 +341,10 @@ TEST(GraphExecutor, SteadyStateExecutorStepIsAllocationFree) {
   EXPECT_EQ(after.workspace_allocs, before.workspace_allocs);
   EXPECT_EQ(after.einsum_table_builds, before.einsum_table_builds)
       << "steady-state executor step rebuilt einsum offset tables";
+  EXPECT_EQ(after.einsum_class_builds, before.einsum_class_builds)
+      << "steady-state executor step reclassified einsum contractions";
+  EXPECT_EQ(after.autotune_measures, before.autotune_measures)
+      << "steady-state executor step re-tuned a contraction bucket";
   EXPECT_LT(loss, warm_loss);  // and it still trains
 }
 

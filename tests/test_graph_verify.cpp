@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "graph/builder.hpp"
 #include "graph/executor.hpp"
+#include "graph/lowering.hpp"
 #include "graph/memory_plan.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/workspace.hpp"
@@ -148,6 +149,48 @@ TEST(VerifyGraph, ContractionShapeMismatch) {
   ExpectOnlyRule(report, "shape/contraction");
   ASSERT_EQ(report.error_count(), 1);
   EXPECT_EQ(report.issues[0].op, "mm");
+}
+
+TEST(VerifyGraph, LoweringClassMismatch) {
+  DataflowGraph g;
+  g.AddTensor("x", Shape("ik", {2, 3}));
+  g.AddTensor("w", Shape("kj", {3, 4}), /*is_weight=*/true);
+  g.AddTensor("y", Shape("ij", {2, 4}));
+  // The shapes re-derive kGemm; a stale annotation claims kGemv.
+  g.AddOp({.name = "mm",
+           .kind = OpKind::kContraction,
+           .inputs = {"x", "w"},
+           .outputs = {"y"},
+           .einsum = "ik,kj->ij",
+           .lowered = EinsumClass::kGemv});
+  const auto report = Verify(g);
+  ExpectOnlyRule(report, "graph/lowering-consistent");
+  ASSERT_EQ(report.error_count(), 1);
+  EXPECT_EQ(report.issues[0].op, "mm");
+  // The message names both classes so the stale pass is identifiable.
+  EXPECT_NE(report.issues[0].message.find("gemv"), std::string::npos);
+  EXPECT_NE(report.issues[0].message.find("gemm"), std::string::npos);
+}
+
+TEST(VerifyGraph, LoweredBuilderGraphsVerifyClean) {
+  for (const bool training : {false, true}) {
+    // Inference graphs exercise the unfused builder; the backward graph
+    // requires the QKV-fused one.
+    auto g = BuildEncoder(
+        ModelDims::Tiny(),
+        training ? AlgebraicFusion::kQKV : AlgebraicFusion::kNone, training);
+    EXPECT_GT(LowerContractions(g), 0u);
+    for (const auto& op : g.ops()) {
+      if (op.kind != OpKind::kContraction) continue;
+      EXPECT_NE(op.lowered, EinsumClass::kUnclassified) << op.name;
+    }
+    const auto report = Verify(g);
+    EXPECT_TRUE(report.ok()) << report.Summary();
+    // Idempotent: re-running the pass finds nothing left to classify and
+    // the annotated graph still cross-checks clean.
+    EXPECT_EQ(LowerContractions(g), 0u);
+    EXPECT_TRUE(Verify(g).ok());
+  }
 }
 
 TEST(VerifyGraph, ElementwiseShapeMismatch) {

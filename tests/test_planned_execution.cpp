@@ -201,6 +201,10 @@ TEST(PlannedExecution, SteadyStateTrainStepIsAllocationFree) {
   EXPECT_EQ(after.workspace_allocs, before.workspace_allocs);
   EXPECT_EQ(after.einsum_table_builds, before.einsum_table_builds)
       << "steady-state step rebuilt einsum offset tables";
+  EXPECT_EQ(after.einsum_class_builds, before.einsum_class_builds)
+      << "steady-state step reclassified einsum contractions";
+  EXPECT_EQ(after.autotune_measures, before.autotune_measures)
+      << "steady-state step re-tuned a contraction bucket";
   EXPECT_LT(loss, warm_loss);  // and it still trains
 }
 
